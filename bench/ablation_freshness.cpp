@@ -1,0 +1,68 @@
+// Ablation — freshness-aware forwarding in the ANT (§3.1.1).
+//
+// Because one physical neighbor appears as several uncorrelatable pseudonym
+// entries, the paper argues the forwarding decision must weigh freshness,
+// and that "forwarding could be better if the node movement is predictable
+// (velocity and direction are available with position)". This ablation
+// compares raw greedy (penalty 0), the staleness-penalized rule, and the
+// velocity-hint dead-reckoning variant at high mobility.
+
+#include "bench_common.hpp"
+
+using namespace geoanon;
+
+namespace {
+
+workload::ScenarioResult run_variant(double penalty_mps, bool velocity, double max_speed,
+                                     double seconds) {
+    workload::ScenarioConfig cfg =
+        bench::paper_scenario(workload::Scheme::kAgfwAck, 75, seconds, 31);
+    cfg.max_speed_mps = max_speed;
+    cfg.pause_s = 5.0;  // high-churn regime where freshness matters
+    cfg.agfw.ant.staleness_penalty_mps = penalty_mps;
+    cfg.agfw.ant.use_velocity = velocity;
+    cfg.agfw.send_velocity_hint = velocity;
+    workload::ScenarioRunner runner(cfg);
+    return runner.run();
+}
+
+}  // namespace
+
+int main() {
+    const double seconds = bench::sim_seconds(180.0);
+    std::printf("Ablation: ANT freshness-aware forwarding (75 nodes, pause 5 s, %.0f s)\n\n",
+                seconds);
+
+    struct Variant {
+        const char* name;
+        double penalty;
+        bool velocity;
+    };
+    const Variant variants[] = {
+        {"raw greedy (penalty 0)", 0.0, false},
+        {"staleness penalty 10 m/s", 10.0, false},
+        {"staleness penalty 20 m/s", 20.0, false},
+        {"penalty 10 + velocity hint", 10.0, true},
+    };
+
+    for (double speed : {5.0, 20.0}) {
+        std::printf("--- max speed %.0f m/s ---\n", speed);
+        util::TablePrinter table({"variant", "delivery", "latency (ms)", "nl retx",
+                                  "unreachable drops"});
+        for (const Variant& v : variants) {
+            const auto r = run_variant(v.penalty, v.velocity, speed, seconds);
+            table.row()
+                .cell(v.name)
+                .cell(r.delivery_fraction, 3)
+                .cell(r.avg_latency_ms, 2)
+                .cell(static_cast<long long>(r.nl_retransmissions))
+                .cell(static_cast<long long>(r.drop_unreachable));
+        }
+        table.print();
+        std::printf("\n");
+    }
+    std::printf(
+        "Reading: at walking speeds the variants tie; at vehicular speeds the\n"
+        "freshness-aware rules cut retransmissions to dead entries (§3.1.1).\n");
+    return 0;
+}

@@ -1,0 +1,76 @@
+#pragma once
+
+// Shared helpers for the figure/table reproduction benches.
+//
+// Runtime knobs (environment):
+//   GEOANON_FULL=1           - run the paper's full 900 s simulations
+//   GEOANON_SIM_SECONDS=<s>  - override simulated seconds explicitly
+//   GEOANON_SEEDS=<n>        - number of independent seeds to average
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "workload/scenario.hpp"
+
+namespace geoanon::bench {
+
+inline double sim_seconds(double dflt) {
+    if (const char* s = std::getenv("GEOANON_SIM_SECONDS")) return std::atof(s);
+    if (std::getenv("GEOANON_FULL")) return 900.0;
+    return dflt;
+}
+
+inline int seed_count(int dflt) {
+    if (const char* s = std::getenv("GEOANON_SEEDS")) return std::atoi(s);
+    return dflt;
+}
+
+/// Configure the paper's §5.1 scenario at a given density and horizon.
+inline workload::ScenarioConfig paper_scenario(workload::Scheme scheme,
+                                               std::size_t num_nodes, double seconds,
+                                               std::uint64_t seed) {
+    workload::ScenarioConfig cfg;
+    cfg.scheme = scheme;
+    cfg.num_nodes = num_nodes;
+    cfg.sim_seconds = seconds;
+    cfg.traffic_stop_s = seconds - 20.0;
+    cfg.seed = seed;
+    return cfg;
+}
+
+/// Mean result over several seeds (delivery fraction and latency).
+struct SweepPoint {
+    util::RunningStat delivery;
+    util::RunningStat latency_ms;
+    util::RunningStat p95_ms;
+    util::RunningStat hops;
+};
+
+inline SweepPoint run_seeds(workload::Scheme scheme, std::size_t nodes, double seconds,
+                            int seeds) {
+    SweepPoint pt;
+    for (int s = 0; s < seeds; ++s) {
+        workload::ScenarioRunner runner(
+            paper_scenario(scheme, nodes, seconds, 1000 + static_cast<std::uint64_t>(s)));
+        const auto r = runner.run();
+        pt.delivery.add(r.delivery_fraction);
+        pt.latency_ms.add(r.avg_latency_ms);
+        pt.p95_ms.add(r.p95_latency_ms);
+        pt.hops.add(r.avg_hops);
+    }
+    return pt;
+}
+
+inline void print_banner(const char* title, double seconds, int seeds) {
+    std::printf("%s\n", title);
+    std::printf("setup: 1500x300 m, radio 250 m, RWP <=20 m/s pause 60 s, "
+                "30 CBR flows / 20 senders, %.0f s sim, %d seed(s)\n",
+                seconds, seeds);
+    std::printf("(set GEOANON_FULL=1 for the paper's full 900 s runs)\n\n");
+}
+
+}  // namespace geoanon::bench

@@ -1,0 +1,40 @@
+// Figure 1(b) — Average end-to-end data packet latency vs network density.
+//
+// Paper: latencies are comparable while the network has modest density
+// (<= 112 nodes in their runs); at high density GPSR-Greedy's latency grows
+// sharply (RTS/CTS handshake failures, backoff and retries) while AGFW —
+// which never handshakes — stays nearly flat.
+
+#include "bench_common.hpp"
+
+using namespace geoanon;
+
+int main() {
+    const double seconds = bench::sim_seconds(300.0);
+    const int seeds = bench::seed_count(2);
+    bench::print_banner("Figure 1(b): end-to-end data packet latency vs number of nodes",
+                        seconds, seeds);
+
+    const std::vector<std::size_t> densities{50, 75, 100, 112, 125, 150};
+    util::TablePrinter table({"nodes", "gpsr avg (ms)", "agfw-ack avg (ms)",
+                              "gpsr p95 (ms)", "agfw-ack p95 (ms)"});
+
+    for (std::size_t nodes : densities) {
+        const auto gpsr = bench::run_seeds(workload::Scheme::kGpsrGreedy, nodes, seconds, seeds);
+        const auto ack = bench::run_seeds(workload::Scheme::kAgfwAck, nodes, seconds, seeds);
+        table.row()
+            .cell(static_cast<long long>(nodes))
+            .cell(gpsr.latency_ms.mean(), 2)
+            .cell(ack.latency_ms.mean(), 2)
+            .cell(gpsr.p95_ms.mean(), 2)
+            .cell(ack.p95_ms.mean(), 2);
+    }
+    table.print();
+
+    std::printf(
+        "\nExpected shape (paper): comparable up to ~112 nodes, then a sharp\n"
+        "GPSR increase while AGFW stays flat. AGFW pays the 8.5 ms trapdoor\n"
+        "decryption only inside the last-hop region, so per-packet crypto\n"
+        "does not accumulate along the route.\n");
+    return 0;
+}

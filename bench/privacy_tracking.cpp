@@ -1,0 +1,66 @@
+// §4 security analysis, quantified — what a passive global eavesdropper
+// learns under each scheme.
+//
+// The paper argues AGFW leaves the adversary with locations it cannot tie to
+// identities ("it cannot determine who is sending to whom"), and warns
+// (§3.2) that exposing real MAC source addresses would let an eavesdropper
+// correlate consecutive hops of one packet (same trapdoor) and bind
+// pseudonyms to persistent addresses. This bench measures all three cases.
+
+#include "bench_common.hpp"
+
+using namespace geoanon;
+
+namespace {
+
+workload::ScenarioResult run_case(workload::Scheme scheme, bool anonymous_mac,
+                                  double seconds) {
+    workload::ScenarioConfig cfg = bench::paper_scenario(scheme, 50, seconds, 11);
+    cfg.attach_eavesdropper = true;
+    cfg.anonymous_mac = anonymous_mac;
+    workload::ScenarioRunner runner(cfg);
+    return runner.run();
+}
+
+}  // namespace
+
+int main() {
+    const double seconds = bench::sim_seconds(300.0);
+    std::printf("Privacy under a passive global eavesdropper (50 nodes, %.0f s)\n", seconds);
+    std::printf("identity sighting = (identity handle, location) pair observed\n");
+    std::printf("coverage = mean fraction of 10 s windows a node is localized in\n\n");
+
+    struct Case {
+        const char* name;
+        workload::Scheme scheme;
+        bool anon_mac;
+    };
+    const Case cases[] = {
+        {"gpsr-greedy", workload::Scheme::kGpsrGreedy, true},
+        {"agfw-ack", workload::Scheme::kAgfwAck, true},
+        {"agfw-ack + MAC leak", workload::Scheme::kAgfwAck, false},
+    };
+
+    util::TablePrinter table({"scheme", "frames seen", "identity sightings",
+                              "pseudonym sightings", "nodes localized", "coverage",
+                              "pseudonym->MAC links"});
+    for (const Case& c : cases) {
+        const auto r = run_case(c.scheme, c.anon_mac, seconds);
+        const auto& adv = r.adversary;
+        table.row()
+            .cell(c.name)
+            .cell(static_cast<long long>(adv.frames_observed))
+            .cell(static_cast<long long>(adv.identity_sightings))
+            .cell(static_cast<long long>(adv.pseudonym_sightings))
+            .cell(static_cast<long long>(adv.nodes_ever_localized))
+            .cell(adv.mean_tracking_coverage, 3)
+            .cell(static_cast<long long>(adv.mac_pseudonym_links));
+    }
+    table.print();
+
+    std::printf(
+        "\nExpected shape (paper §4): GPSR localizes every node almost\n"
+        "continuously; full AGFW yields zero identity-location linkage; the\n"
+        "MAC-leak ablation confirms why §3.2 forbids real source addresses.\n");
+    return 0;
+}

@@ -1,0 +1,70 @@
+// §3.1.1 — pseudonym collision probability.
+//
+// The paper generates n = hash(pr, id) "to reduce the probability of n
+// collisions in the neighborhood" and sizes pseudonyms like MAC addresses
+// (48 bits, §5). This bench measures the collision probability among N
+// simultaneously-live pseudonyms for several truncation widths and compares
+// it with the birthday-bound approximation 1 - exp(-N(N-1) / 2^(b+1)).
+
+#include <cmath>
+#include <unordered_set>
+
+#include "crypto/sha256.hpp"
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+using namespace geoanon;
+
+namespace {
+
+std::uint64_t pseudonym(std::uint64_t id, std::uint64_t pr, unsigned bits) {
+    util::ByteWriter w;
+    w.u64(pr);
+    w.u64(id);
+    return crypto::sha256_u64(w.data()) & ((bits >= 64) ? ~0ULL : ((1ULL << bits) - 1));
+}
+
+double measure(unsigned bits, std::size_t live, int trials, util::Rng& rng) {
+    int collided = 0;
+    for (int t = 0; t < trials; ++t) {
+        std::unordered_set<std::uint64_t> seen;
+        bool hit = false;
+        for (std::size_t i = 0; i < live && !hit; ++i)
+            hit = !seen.insert(pseudonym(i, rng.next_u64(), bits)).second;
+        collided += hit ? 1 : 0;
+    }
+    return static_cast<double>(collided) / trials;
+}
+
+double birthday(unsigned bits, std::size_t live) {
+    const double n = static_cast<double>(live);
+    return 1.0 - std::exp(-n * (n - 1.0) / std::pow(2.0, bits + 1.0));
+}
+
+}  // namespace
+
+int main() {
+    std::printf("Pseudonym collision probability vs width (500 trials each)\n");
+    std::printf("'live' = simultaneously valid pseudonyms in one radio range\n\n");
+
+    util::Rng rng(20260706);
+    util::TablePrinter table({"bits", "live", "measured", "birthday bound"});
+    for (unsigned bits : {16u, 24u, 32u, 48u}) {
+        for (std::size_t live : {32u, 128u, 512u}) {
+            const int trials = 500;
+            table.row()
+                .cell(static_cast<long long>(bits))
+                .cell(static_cast<long long>(live))
+                .cell(measure(bits, live, trials, rng), 4)
+                .cell(birthday(bits, live), 4);
+        }
+    }
+    table.print();
+
+    std::printf(
+        "\nAt the paper's 48-bit (MAC-address sized) pseudonyms, collisions in\n"
+        "a neighborhood are negligible even at hundreds of live entries; the\n"
+        "16-bit column shows why short pseudonyms would need collision repair.\n");
+    return 0;
+}

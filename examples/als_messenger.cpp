@@ -1,0 +1,123 @@
+// als_messenger — the full anonymous stack, end to end, with real crypto.
+//
+// Two users ("alice", node 0, and "bob", node 15) on a 20-node static mesh.
+// Bob periodically updates the Anonymous Location Service with rows encrypted
+// for his anticipated contacts (§3.3); Alice resolves Bob's location through
+// ALS — without revealing her identity to the location server or relays —
+// then sends him messages via Anonymous Greedy Forwarding with genuine
+// RSA-512 trapdoors and, optionally, ring-signed hellos.
+//
+// Usage: als_messenger [--messages=3] [--authenticated] [--index-free]
+
+#include <cstdio>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/agfw.hpp"
+#include "crypto/engine.hpp"
+#include "mobility/mobility.hpp"
+#include "net/network.hpp"
+#include "util/cli.hpp"
+
+using namespace geoanon;
+using core::AgfwAgent;
+using net::NodeId;
+using util::SimTime;
+using util::Vec2;
+
+int main(int argc, char** argv) {
+    const util::CliArgs args(argc, argv);
+    const int messages = static_cast<int>(args.get("messages", std::int64_t{3}));
+    const bool authenticated = args.get("authenticated", false);
+    const bool index_free = args.get("index-free", false);
+
+    std::printf("Building a 20-node mesh with genuine RSA-512 credentials");
+    std::printf("%s...\n", authenticated ? " and ring-signed hellos" : "");
+
+    net::Network network(phy::PhyParams{}, 99);
+    crypto::RealCryptoEngine engine(424242, 512);
+
+    std::vector<Vec2> positions;
+    for (int xi = 0; xi < 10; ++xi)
+        for (int yi = 0; yi < 2; ++yi)
+            positions.push_back(Vec2{75.0 + xi * 150.0, 75.0 + yi * 150.0});
+
+    std::vector<crypto::NodeIdNum> universe;
+    for (std::size_t i = 0; i < positions.size(); ++i) {
+        engine.register_node(i);
+        universe.push_back(i);
+    }
+    std::printf("issued %zu certificates from the toy CA\n\n", universe.size());
+
+    const NodeId alice = 0, bob = 15;
+    mac::MacParams mac_params;
+    mac_params.use_rtscts = false;
+    mac_params.anonymous_source = true;
+
+    AgfwAgent::Params params;
+    params.authenticated_hello = authenticated;
+    params.ring_k = 3;
+
+    const routing::GridMap grid(mobility::Area{1500, 300}, 300.0);
+    std::vector<AgfwAgent*> agents;
+    int received = 0;
+
+    for (const Vec2& pos : positions) {
+        net::Node& node = network.add_node(
+            std::make_unique<mobility::StationaryMobility>(pos), mac_params);
+        auto agent = std::make_unique<AgfwAgent>(
+            node, params, engine, universe,
+            [](NodeId) -> std::optional<Vec2> { return std::nullopt; },
+            [&](NodeId at, const net::Packet& pkt) {
+                if (at != bob) return;
+                ++received;
+                std::printf("[%7.2f s] bob: got message #%u after %u hops: \"%.*s\"\n",
+                            network.sim().now().to_seconds(), pkt.seq, pkt.hops,
+                            static_cast<int>(pkt.body.size()),
+                            reinterpret_cast<const char*>(pkt.body.data()));
+            });
+        // Everyone anticipates alice and bob as possible contacts (§3.3:
+        // updaters must anticipate their potential senders).
+        agent->enable_location_service(
+            index_free ? routing::LocationService::Mode::kAnonymousIndexFree
+                       : routing::LocationService::Mode::kAnonymous,
+            grid, routing::LocationService::Params{}, {alice, bob});
+        agents.push_back(agent.get());
+        node.set_agent(std::move(agent));
+    }
+    network.start_agents();
+
+    std::printf("warming up: hellos build the anonymous neighbor tables,\n");
+    std::printf("everyone pushes encrypted location rows to their home grids...\n");
+    network.sim().run_until(SimTime::seconds(20));
+    std::printf("[%7.2f s] alice's ANT has %zu pseudonymous entries\n\n",
+                network.sim().now().to_seconds(), agents[alice]->ant().size());
+
+    for (int m = 0; m < messages; ++m) {
+        const double when = 20.0 + m * 5.0;
+        network.sim().at(SimTime::seconds(when), [&, m] {
+            std::printf("[%7.2f s] alice -> bob: resolving location via ALS (%s)\n",
+                        network.sim().now().to_seconds(),
+                        index_free ? "index-free" : "indexed");
+            const std::string text = "hello from alice #" + std::to_string(m);
+            agents[alice]->send_data(bob, 0, static_cast<std::uint32_t>(m),
+                                     net::Bytes(text.begin(), text.end()));
+        });
+    }
+    network.sim().run_until(SimTime::seconds(20.0 + messages * 5.0 + 10.0));
+
+    const auto& ls = agents[alice]->location_service()->stats();
+    const auto& st = agents[alice]->stats();
+    std::printf("\nsummary: %d/%d messages delivered\n", received, messages);
+    std::printf("  alice: ALS queries %llu (ok %llu), data broadcasts %llu\n",
+                static_cast<unsigned long long>(ls.queries_sent),
+                static_cast<unsigned long long>(ls.resolved_ok),
+                static_cast<unsigned long long>(st.forwarded));
+    std::printf("  bob:   trapdoor opens %llu\n",
+                static_cast<unsigned long long>(agents[bob]->stats().trapdoor_opens));
+    std::printf("\nNo identity ever appeared on the air: ALS rows and queries are\n"
+                "encrypted/indexed blobs; data packets carry only loc_d, a next-hop\n"
+                "pseudonym and an RSA trapdoor that only bob can open.\n");
+    return received == messages ? 0 : 1;
+}

@@ -1,0 +1,82 @@
+// privacy_demo — watch a passive eavesdropper track people.
+//
+// Runs the same mobile network three times: GPSR-Greedy (identities in every
+// beacon and data header), full AGFW (pseudonyms + anonymous MAC), and a
+// deliberately broken AGFW that leaks real MAC source addresses — the §3.2
+// correlation attack scenario. Prints what the sniffer learned in each case,
+// including a per-victim tracking profile for the baseline.
+//
+// Usage: privacy_demo [--nodes=50] [--seconds=120] [--seed=11]
+
+#include <cstdio>
+
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "workload/scenario.hpp"
+
+using namespace geoanon;
+
+namespace {
+
+workload::ScenarioResult run_case(workload::Scheme scheme, bool anonymous_mac,
+                                  std::size_t nodes, double seconds, std::uint64_t seed) {
+    workload::ScenarioConfig cfg;
+    cfg.scheme = scheme;
+    cfg.num_nodes = nodes;
+    cfg.sim_seconds = seconds;
+    cfg.traffic_stop_s = seconds - 10.0;
+    cfg.seed = seed;
+    cfg.anonymous_mac = anonymous_mac;
+    cfg.attach_eavesdropper = true;
+    workload::ScenarioRunner runner(cfg);
+    return runner.run();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const util::CliArgs args(argc, argv);
+    const auto nodes = static_cast<std::size_t>(args.get("nodes", std::int64_t{50}));
+    const double seconds = args.get("seconds", 120.0);
+    const auto seed = static_cast<std::uint64_t>(args.get("seed", std::int64_t{11}));
+
+    std::printf("A passive sniffer overhears every transmission on a %zu-node\n", nodes);
+    std::printf("MANET for %.0f simulated seconds. What can it learn?\n\n", seconds);
+
+    struct Case {
+        const char* name;
+        const char* story;
+        workload::Scheme scheme;
+        bool anon_mac;
+    };
+    const Case cases[] = {
+        {"gpsr-greedy", "identities ride every beacon and data header",
+         workload::Scheme::kGpsrGreedy, true},
+        {"agfw (full)", "pseudonymous hellos, trapdoor data, anonymous MAC",
+         workload::Scheme::kAgfwAck, true},
+        {"agfw + MAC leak", "same, but frames expose the sender's MAC address",
+         workload::Scheme::kAgfwAck, false},
+    };
+
+    util::TablePrinter table({"scheme", "identity sightings", "nodes localized",
+                              "tracking coverage", "pseudonym->MAC links"});
+    for (const Case& c : cases) {
+        const auto r = run_case(c.scheme, c.anon_mac, nodes, seconds, seed);
+        table.row()
+            .cell(c.name)
+            .cell(static_cast<long long>(r.adversary.identity_sightings))
+            .cell(static_cast<long long>(r.adversary.nodes_ever_localized))
+            .cell(r.adversary.mean_tracking_coverage, 3)
+            .cell(static_cast<long long>(r.adversary.mac_pseudonym_links));
+        std::printf("%-16s : %s\n", c.name, c.story);
+    }
+    std::printf("\n");
+    table.print();
+
+    std::printf(
+        "\nWith GPSR the sniffer effectively owns a live location feed for\n"
+        "every node. Full AGFW reduces its take to unlinkable pseudonyms.\n"
+        "The MAC-leak run shows why §3.2 insists on broadcast source\n"
+        "addresses: one leaked address re-links the whole pseudonym chain.\n");
+    return 0;
+}

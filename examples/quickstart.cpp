@@ -1,0 +1,48 @@
+// Quickstart: run the paper's anonymous geographic routing (AGFW + ANT) on a
+// 50-node mobile ad hoc network and compare it against the GPSR-Greedy
+// baseline on delivery fraction and latency.
+//
+// Build:  cmake -B build -G Ninja && cmake --build build
+// Run:    ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "util/table.hpp"
+#include "workload/scenario.hpp"
+
+using namespace geoanon;
+
+int main() {
+    std::printf("geoanon quickstart: 50 nodes, 1500x300 m, 120 s, 30 CBR flows\n\n");
+
+    util::TablePrinter table({"scheme", "delivery", "avg latency (ms)", "avg hops",
+                              "collisions", "ctrl bytes"});
+
+    for (workload::Scheme scheme : {workload::Scheme::kGpsrGreedy,
+                                    workload::Scheme::kAgfwNoAck,
+                                    workload::Scheme::kAgfwAck}) {
+        workload::ScenarioConfig cfg;
+        cfg.scheme = scheme;
+        cfg.num_nodes = 50;
+        cfg.sim_seconds = 120.0;
+        cfg.traffic_stop_s = 110.0;
+        cfg.seed = 42;
+
+        workload::ScenarioRunner runner(cfg);
+        const workload::ScenarioResult r = runner.run();
+
+        table.row()
+            .cell(workload::scheme_name(scheme))
+            .cell(r.delivery_fraction, 3)
+            .cell(r.avg_latency_ms, 2)
+            .cell(r.avg_hops, 2)
+            .cell(static_cast<long long>(r.mac_collisions))
+            .cell(static_cast<long long>(r.control_bytes));
+    }
+
+    table.print();
+    std::printf(
+        "\nAGFW delivers data without any identity on the air: pseudonymous\n"
+        "hellos (ANT), trapdoor-addressed data (AGFW), broadcast MAC frames.\n");
+    return 0;
+}

@@ -1,0 +1,105 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "net/packet.hpp"
+#include "net/types.hpp"
+#include "phy/channel.hpp"
+#include "util/time.hpp"
+
+namespace geoanon::core {
+
+/// Passive global eavesdropper implementing the paper's threat model (§2):
+/// it observes every transmission (with the transmitter's position — a
+/// sniffer near the sender learns as much), reads all cleartext header
+/// fields, and tries to link *identities* to *locations*.
+///
+/// Identity handles it can exploit:
+///  - cleartext node ids in GPSR hellos/data and plain-DLM messages;
+///  - persistent MAC addresses (a stable handle == an identity);
+///  - §3.2's correlation attack: consecutive hops of one packet share the
+///    trapdoor (modeled by uid), so a frame carrying a real MAC address that
+///    relays a packet previously addressed to pseudonym n binds n to that
+///    MAC — and thereafter every hello under n localizes that MAC's owner.
+///
+/// Against full AGFW (anonymous MAC + pseudonyms) none of these fire, which
+/// is exactly §4's claim; the report quantifies it.
+class Eavesdropper {
+  public:
+    struct Params {
+        double window_seconds{10.0};  ///< tracking-coverage bucket size
+    };
+
+    /// `ground_truth` maps a MAC address to the owning node id — used only
+    /// for *scoring* what the adversary learned, never for the attack itself.
+    Eavesdropper(phy::Channel& channel, std::size_t node_count,
+                 std::function<net::NodeId(net::MacAddr)> ground_truth, Params params);
+    Eavesdropper(phy::Channel& channel, std::size_t node_count,
+                 std::function<net::NodeId(net::MacAddr)> ground_truth)
+        : Eavesdropper(channel, node_count, std::move(ground_truth), Params{}) {}
+
+    struct Report {
+        std::uint64_t frames_observed{0};
+        /// Observations where an identity handle was tied to a location.
+        std::uint64_t identity_sightings{0};
+        /// Observations exposing only an unlinkable pseudonym.
+        std::uint64_t pseudonym_sightings{0};
+        /// Successful §3.2 pseudonym->MAC bindings.
+        std::uint64_t mac_pseudonym_links{0};
+        std::uint64_t nodes_ever_localized{0};
+        /// Successful §3.3 index-dictionary matches on observed ALS queries:
+        /// each reveals an (updater, requester) relationship.
+        std::uint64_t index_linkages{0};
+        std::uint64_t relationship_pairs_learned{0};
+        /// Mean over nodes of (windows with an identity-linked sighting) /
+        /// (total windows) — "how continuously can I track people".
+        double mean_tracking_coverage{0.0};
+    };
+
+    /// §3.3's stated exposure risk for the indexed ALS: "the index part
+    /// E_{K_B}(A,B) is a fixed block of data, a sophisticated attacker may
+    /// find a matching identity ... by collecting enough certificates or
+    /// computing it exhaustively". Install the attacker's precomputed
+    /// dictionary: hex(index) -> (updater A, requester B). Observed LREQ
+    /// indices that match reveal *who queries whom* (not locations).
+    void set_index_dictionary(
+        std::unordered_map<std::string, std::pair<net::NodeId, net::NodeId>> dict) {
+        index_dictionary_ = std::move(dict);
+    }
+
+    /// Compute the report for a run that covered [0, total_seconds].
+    Report report(double total_seconds) const;
+
+  private:
+    void observe(const phy::Frame& frame, double t_seconds);
+    void identity_sighting(net::NodeId victim, double t_seconds);
+
+    std::size_t node_count_;
+    std::function<net::NodeId(net::MacAddr)> ground_truth_;
+    Params params_;
+
+    std::uint64_t frames_observed_{0};
+    std::uint64_t identity_sightings_{0};
+    std::uint64_t pseudonym_sightings_{0};
+    std::uint64_t mac_pseudonym_links_{0};
+
+    /// victim -> windows in which the adversary localized it.
+    std::unordered_map<net::NodeId, std::set<std::int64_t>> windows_;
+    /// §3.2 correlation state: packet uid -> pseudonym it was addressed to.
+    std::unordered_map<std::uint64_t, std::uint64_t> uid_to_pseudonym_;
+    /// pseudonyms bound to a real MAC address (identity handle).
+    std::unordered_map<std::uint64_t, net::MacAddr> pseudonym_to_mac_;
+    /// §3.3 index dictionary and the relationships it has revealed.
+    std::unordered_map<std::string, std::pair<net::NodeId, net::NodeId>> index_dictionary_;
+    std::uint64_t index_linkages_{0};
+    std::set<std::pair<net::NodeId, net::NodeId>> relationships_;
+};
+
+}  // namespace geoanon::core

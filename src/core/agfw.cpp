@@ -1,0 +1,630 @@
+#include "core/agfw.hpp"
+
+#include "net/codec.hpp"
+
+#include "core/planar.hpp"
+
+#include <algorithm>
+
+#include "util/bytes.hpp"
+
+namespace geoanon::core {
+
+using routing::kAgfwAckBytes;
+using routing::kAgfwDataHeaderBytes;
+using routing::kAgfwHelloBaseBytes;
+using routing::kCertReferenceBytes;
+using util::ByteWriter;
+using util::SimTime;
+
+namespace {
+/// Canonical byte encoding of the hello body — what the ring signature
+/// covers: ⟨HELLO, n, loc, ts⟩.
+util::Bytes hello_signing_bytes(const Packet& pkt) {
+    ByteWriter w;
+    w.u64(pkt.hello_pseudonym);
+    w.f64(pkt.hello_loc.x);
+    w.f64(pkt.hello_loc.y);
+    w.u64(static_cast<std::uint64_t>(pkt.hello_ts.ns()));
+    return w.take();
+}
+}  // namespace
+
+AgfwAgent::AgfwAgent(net::Node& node, Params params, crypto::CryptoEngine& engine,
+                     std::vector<crypto::NodeIdNum> ring_universe, LocateFn locate,
+                     DeliverFn deliver)
+    : node_(node),
+      params_(params),
+      engine_(engine),
+      ring_universe_(std::move(ring_universe)),
+      locate_(std::move(locate)),
+      deliver_(std::move(deliver)),
+      pseudonyms_(engine, node.id(), node.rng()),
+      ant_(params.ant) {}
+
+std::string AgfwAgent::name() const {
+    return params_.use_net_ack ? "agfw-ack" : "agfw-noack";
+}
+
+void AgfwAgent::enable_location_service(routing::LocationService::Mode mode,
+                                        routing::GridMap grid,
+                                        routing::LocationService::Params ls_params,
+                                        std::vector<NodeId> contacts) {
+    routing::LocationService::Hooks hooks;
+    hooks.route = [this](std::shared_ptr<Packet> pkt) { route_packet(std::move(pkt)); };
+    hooks.local_broadcast = [this](std::shared_ptr<Packet> pkt) {
+        auto copy = net::clone_packet(*pkt);
+        copy->next_hop_pseudonym = crypto::kLastAttemptPseudonym;
+        stats_.control_bytes += copy->wire_bytes;
+        node_.mac().send_broadcast(std::move(copy));
+    };
+    hooks.my_position = [this] { return node_.position(); };
+    hooks.my_id = node_.id();
+    hooks.sim = &node_.sim();
+    hooks.rng = &node_.rng();
+    hooks.engine = &engine_;
+    hooks.charge = [this](SimTime cost, std::function<void()> done) {
+        charge(cost, std::move(done));
+    };
+    ls_ = std::make_unique<routing::LocationService>(mode, grid, ls_params,
+                                                     std::move(hooks));
+    ls_->set_contacts(std::move(contacts));
+}
+
+void AgfwAgent::charge(SimTime cost, std::function<void()> done) {
+    if (params_.charge_crypto_costs && cost > SimTime::zero()) {
+        node_.sim().after(cost, std::move(done));
+    } else {
+        done();
+    }
+}
+
+bool AgfwAgent::in_last_hop_region(const Vec2& dst_loc) const {
+    return util::distance(node_.position(), dst_loc) <=
+           node_.radio().phy_params().range_m;
+}
+
+void AgfwAgent::mark_seen(std::uint64_t uid) { seen_[uid] = node_.sim().now(); }
+
+void AgfwAgent::purge_soft_state() {
+    const SimTime now = node_.sim().now();
+    std::erase_if(seen_, [&](const auto& kv) {
+        return now - kv.second > params_.seen_ttl;
+    });
+    std::erase_if(blacklist_, [&](const auto& kv) { return kv.second <= now; });
+}
+
+std::vector<Pseudonym> AgfwAgent::active_blacklist() const {
+    std::vector<Pseudonym> out;
+    out.reserve(blacklist_.size());
+    const SimTime now = node_.sim().now();
+    for (const auto& [n, expiry] : blacklist_)
+        if (expiry > now) out.push_back(n);
+    return out;
+}
+
+void AgfwAgent::start() {
+    const SimTime phase =
+        SimTime::nanos(node_.rng().uniform_int(0, params_.hello_interval.ns()));
+    hello_timer_.start(node_.sim(), params_.hello_interval, phase,
+                       [this] { send_hello(); });
+    if (ls_) ls_->start();
+}
+
+// ---------------------------------------------------------------------------
+// ANT: hello beacons
+// ---------------------------------------------------------------------------
+
+void AgfwAgent::send_hello() {
+    purge_soft_state();
+    ant_.purge(node_.sim().now());
+
+    auto pkt = std::make_shared<Packet>();
+    pkt->type = net::PacketType::kAgfwHello;
+    pkt->hello_pseudonym = pseudonyms_.rotate();
+    pkt->hello_loc = node_.position();
+    if (params_.send_velocity_hint) pkt->hello_velocity = node_.velocity();
+    pkt->hello_ts = node_.sim().now();
+
+    SimTime cost = SimTime::zero();
+    if (params_.authenticated_hello) {
+        // Ring = self + k distinct others, randomly drawn from all valid
+        // users (§3.1.2), shuffled so the signer's slot is not positional.
+        std::vector<crypto::NodeIdNum> ring{node_.id()};
+        const std::size_t want = std::min(params_.ring_k, ring_universe_.size() - 1);
+        while (ring.size() < want + 1) {
+            const auto pick = ring_universe_[static_cast<std::size_t>(
+                node_.rng().uniform_int(0, static_cast<std::int64_t>(ring_universe_.size()) - 1))];
+            if (std::find(ring.begin(), ring.end(), pick) == ring.end())
+                ring.push_back(pick);
+        }
+        for (std::size_t i = ring.size(); i > 1; --i) {
+            const auto j = static_cast<std::size_t>(
+                node_.rng().uniform_int(0, static_cast<std::int64_t>(i) - 1));
+            std::swap(ring[i - 1], ring[j]);
+        }
+        const auto msg = hello_signing_bytes(*pkt);
+        pkt->auth = engine_.ring_sign_msg(node_.id(), ring, msg, node_.rng());
+        pkt->ring_members = std::move(ring);
+        cost = engine_.costs().ring_sign(pkt->ring_members.size());
+    }
+
+    // Canonical encoding covers everything except full-certificate
+    // attachment, which replaces each 4-byte reference with the whole cert.
+    pkt->wire_bytes = static_cast<std::uint32_t>(net::codec::encoded_size(*pkt));
+    if (params_.authenticated_hello && !params_.certs_by_reference) {
+        pkt->wire_bytes += static_cast<std::uint32_t>(
+            pkt->ring_members.size() *
+            (engine_.certificate_bytes() - kCertReferenceBytes));
+    }
+
+    charge(cost, [this, pkt] {
+        ++stats_.hello_sent;
+        stats_.control_bytes += pkt->wire_bytes;
+        node_.mac().send_broadcast(pkt);
+    });
+}
+
+void AgfwAgent::handle_hello(const PacketPtr& pkt) {
+    if (!params_.authenticated_hello || pkt->auth.empty()) {
+        if (params_.authenticated_hello) {
+            ++stats_.hello_rejected;  // unauthenticated hello in auth mode
+            return;
+        }
+        admit_hello(pkt);
+        return;
+    }
+
+    // §4 cert-by-reference: fetch (and thereafter cache) unknown certificates.
+    if (params_.certs_by_reference) {
+        std::size_t unknown = 0;
+        for (const auto id : pkt->ring_members) {
+            if (!known_certs_.contains(id)) {
+                known_certs_.emplace(id, true);
+                ++unknown;
+            }
+        }
+        if (unknown > 0) {
+            stats_.cert_fetches += unknown;
+            stats_.control_bytes += unknown * engine_.certificate_bytes();
+        }
+    }
+
+    const SimTime cost = engine_.costs().ring_verify(pkt->ring_members.size());
+    charge(cost, [this, pkt] {
+        const auto msg = hello_signing_bytes(*pkt);
+        if (engine_.ring_verify_msg(pkt->ring_members, msg, pkt->auth)) {
+            ++stats_.hello_verified;
+            admit_hello(pkt);
+        } else {
+            ++stats_.hello_rejected;
+        }
+    });
+}
+
+void AgfwAgent::admit_hello(const PacketPtr& pkt) {
+    AnonymousNeighborTable::Entry e;
+    e.n = pkt->hello_pseudonym;
+    e.loc = pkt->hello_loc;
+    e.velocity = pkt->hello_velocity;
+    e.ts = pkt->hello_ts;
+    e.expires = node_.sim().now() + params_.ant.ttl;
+    ant_.insert(e);
+}
+
+// ---------------------------------------------------------------------------
+// AGFW data path
+// ---------------------------------------------------------------------------
+
+void AgfwAgent::send_data(NodeId dst, net::FlowId flow, std::uint32_t seq,
+                          net::Bytes body) {
+    ++stats_.app_sent;
+    auto proceed = [this, dst, flow, seq,
+                    body = std::move(body)](std::optional<Vec2> loc) mutable {
+        if (!loc) {
+            ++stats_.drop_no_location;
+            return;
+        }
+        // Trapdoor = E_{KU_d}(src, loc_s, tag_d) — §3.2.
+        ByteWriter payload;
+        payload.u64(node_.id());
+        const Vec2 my_loc = node_.position();
+        payload.f64(my_loc.x);
+        payload.f64(my_loc.y);
+        payload.u64(0x54524150444F4F52ULL);  // tag_d: "you are the destination"
+
+        auto pkt = std::make_shared<Packet>();
+        pkt->type = net::PacketType::kAgfwData;
+        pkt->flow = flow;
+        pkt->seq = seq;
+        pkt->created_at = node_.sim().now();
+        pkt->uid = fresh_uid();
+        pkt->dst_loc = *loc;
+        pkt->trapdoor = engine_.make_trapdoor(dst, payload.data(), node_.rng());
+        pkt->body = std::move(body);
+        pkt->wire_bytes = static_cast<std::uint32_t>(net::codec::encoded_size(*pkt));
+
+        charge(engine_.costs().pk_encrypt, [this, pkt] {
+            mark_seen(pkt->uid);
+            if (!forward_with_recovery(pkt)) {
+                if (in_last_hop_region(pkt->dst_loc)) {
+                    last_attempt(pkt);
+                } else {
+                    ++stats_.drop_no_route;
+                }
+            }
+        });
+    };
+
+    if (ls_) {
+        if (auto it = loc_cache_.find(dst);
+            it != loc_cache_.end() &&
+            node_.sim().now() - it->second.second <= params_.loc_cache_ttl) {
+            proceed(it->second.first);
+            return;
+        }
+        ls_->resolve(dst, [this, dst, cb = std::move(proceed)](
+                              std::optional<Vec2> loc) mutable {
+            if (loc) loc_cache_[dst] = {*loc, node_.sim().now()};
+            cb(loc);
+        });
+    } else {
+        proceed(locate_(dst));
+    }
+}
+
+void AgfwAgent::route_packet(std::shared_ptr<Packet> pkt) {
+    PacketPtr p(std::move(pkt));
+    // The originator may itself be the responsible server / requester.
+    if (ls_ && ls_->handle(p)) return;
+    mark_seen(p->uid);
+    if (!forward_with_recovery(p)) {
+        if (ls_ && ls_->handle_stuck(p)) return;
+        ++stats_.drop_no_route;
+    }
+}
+
+bool AgfwAgent::try_forward(const PacketPtr& pkt, std::vector<Pseudonym> exclude) {
+    ant_.purge(node_.sim().now());
+    for (Pseudonym n : active_blacklist()) exclude.push_back(n);
+    // Never bounce a packet straight back to ourselves.
+    exclude.push_back(pseudonyms_.current());
+    exclude.push_back(pseudonyms_.previous());
+
+    const auto next =
+        ant_.best_next_hop(node_.position(), pkt->dst_loc, node_.sim().now(), exclude);
+    if (!next) return false;
+
+    auto copy = net::clone_packet(*pkt);
+    copy->next_hop_pseudonym = next->n;
+    copy->hops = static_cast<std::uint16_t>(pkt->hops + 1);
+    // Greedy forwarding always leaves (or exits) perimeter mode.
+    if (copy->perimeter_mode) {
+        copy->perimeter_mode = false;
+        copy->perimeter_hops = 0;
+        copy->perimeter_entry = Vec2{};
+        copy->wire_bytes = static_cast<std::uint32_t>(net::codec::encoded_size(*copy));
+    }
+    ++stats_.forwarded;
+
+    if (params_.use_net_ack) {
+        register_pending(copy, next->n, node_.position(), /*was_perimeter=*/false);
+    } else {
+        broadcast_copy(copy, /*retransmission=*/false);
+    }
+    return true;
+}
+
+bool AgfwAgent::try_perimeter(const PacketPtr& pkt, const Vec2& came_from,
+                              std::vector<Pseudonym> exclude) {
+    if (!params_.enable_perimeter) return false;
+    if (pkt->perimeter_hops >= params_.perimeter_hop_limit) {
+        ++stats_.perimeter_ttl_drops;
+        return false;
+    }
+    ant_.purge(node_.sim().now());
+    for (Pseudonym n : active_blacklist()) exclude.push_back(n);
+    exclude.push_back(pseudonyms_.current());
+    exclude.push_back(pseudonyms_.previous());
+
+    const Vec2 me = node_.position();
+    // A pseudonym is only answered while it is one of the owner's two latest
+    // (§3.1.1), i.e. for about two hello intervals. Unlike greedy — whose
+    // staleness penalty steers away from old entries — the right-hand rule
+    // has no freshness notion, so filter hard before planarizing.
+    const SimTime now = node_.sim().now();
+    const SimTime name_lifetime = params_.hello_interval * 2;
+    std::vector<AnonymousNeighborTable::Entry> live;
+    live.reserve(ant_.entries().size());
+    for (const auto& e : ant_.entries())
+        if (now - e.ts <= name_lifetime) live.push_back(e);
+
+    const auto planar = rng_planarize(me, live);
+    const auto next = right_hand_next(me, came_from, planar, exclude);
+    if (!next) return false;
+
+    auto copy = net::clone_packet(*pkt);
+    if (!pkt->perimeter_mode) {
+        ++stats_.perimeter_entries;
+        copy->perimeter_mode = true;
+        copy->perimeter_entry = me;
+    }
+    copy->prev_hop_loc = me;
+    copy->perimeter_hops = static_cast<std::uint16_t>(pkt->perimeter_hops + 1);
+    copy->hops = static_cast<std::uint16_t>(pkt->hops + 1);
+    copy->next_hop_pseudonym = next->n;
+    copy->wire_bytes = static_cast<std::uint32_t>(net::codec::encoded_size(*copy));
+    ++stats_.forwarded;
+    ++stats_.perimeter_forwards;
+
+    if (params_.use_net_ack) {
+        register_pending(copy, next->n, came_from, /*was_perimeter=*/true);
+    } else {
+        broadcast_copy(copy, /*retransmission=*/false);
+    }
+    return true;
+}
+
+bool AgfwAgent::forward_with_recovery(const PacketPtr& pkt) {
+    if (pkt->perimeter_mode) {
+        // GPSR's recovery rule: return to greedy once we are strictly closer
+        // to the destination than where the packet entered perimeter mode.
+        const double here = util::distance(node_.position(), pkt->dst_loc);
+        const double entry = util::distance(pkt->perimeter_entry, pkt->dst_loc);
+        if (here < entry && try_forward(pkt)) {
+            ++stats_.perimeter_recoveries;
+            return true;
+        }
+        return try_perimeter(pkt, pkt->prev_hop_loc);
+    }
+    if (try_forward(pkt)) return true;
+    // Enter perimeter mode using the line toward the destination as the
+    // right-hand reference (GPSR's entry rule).
+    return try_perimeter(pkt, pkt->dst_loc);
+}
+
+void AgfwAgent::register_pending(const std::shared_ptr<Packet>& copy, Pseudonym next,
+                                 const Vec2& came_from, bool was_perimeter) {
+    PendingAck pending;
+    pending.copy = copy;
+    pending.next_hop = next;
+    pending.tried.push_back(next);
+    pending.came_from = came_from;
+    pending.was_perimeter = was_perimeter;
+    // Keep reroute budget across re-chosen next hops for this uid.
+    if (auto it = pending_.find(copy->uid); it != pending_.end()) {
+        pending.reroutes = it->second.reroutes;
+        pending.tried.insert(pending.tried.end(), it->second.tried.begin(),
+                             it->second.tried.end());
+        node_.sim().cancel(it->second.timer);
+        pending_.erase(it);
+    }
+    pending_.emplace(copy->uid, std::move(pending));
+    broadcast_copy(copy, /*retransmission=*/false);
+    arm_ack_timer(copy->uid);
+}
+
+void AgfwAgent::broadcast_copy(const std::shared_ptr<Packet>& copy, bool retransmission) {
+    if (retransmission)
+        ++stats_.retransmissions;
+    stats_.data_bytes += copy->wire_bytes;
+    node_.mac().send_broadcast(copy);
+}
+
+void AgfwAgent::arm_ack_timer(std::uint64_t uid) {
+    auto it = pending_.find(uid);
+    if (it == pending_.end()) return;
+    // Optional exponential backoff: premature retransmissions under
+    // contention feed the very collisions that delayed the ACK.
+    const SimTime timeout =
+        params_.ack_backoff
+            ? params_.ack_timeout * (1LL << std::min(it->second.attempts, 4))
+            : params_.ack_timeout;
+    it->second.timer =
+        node_.sim().after(timeout, [this, uid] { on_ack_timeout(uid); });
+}
+
+void AgfwAgent::on_ack_timeout(std::uint64_t uid) {
+    auto it = pending_.find(uid);
+    if (it == pending_.end()) return;
+    PendingAck& p = it->second;
+    p.timer = sim::kInvalidEvent;
+
+    if (p.attempts < params_.ack_retries) {
+        ++p.attempts;
+        broadcast_copy(p.copy, /*retransmission=*/true);
+        arm_ack_timer(uid);
+        return;
+    }
+
+    // This next hop is unreachable: blacklist it, drop its ANT entries, and
+    // try an alternate neighbor (bounded).
+    blacklist_[p.next_hop] = node_.sim().now() + params_.blacklist_ttl;
+    ant_.erase(p.next_hop);
+    if (p.reroutes < params_.reroute_limit) {
+        ++p.reroutes;
+        auto pkt = p.copy;
+        const std::vector<Pseudonym> exclude = p.tried;
+        const Vec2 came_from = p.came_from;
+        const bool was_perimeter = p.was_perimeter;
+        // try_forward()/try_perimeter() inherit reroutes/tried from the
+        // surviving map entry via register_pending().
+        if (try_forward(pkt, exclude)) return;
+        if (try_perimeter(pkt, was_perimeter ? came_from : pkt->dst_loc, exclude)) return;
+    }
+    pending_.erase(uid);
+    ++stats_.drop_unreachable;
+}
+
+void AgfwAgent::resolve_ack(std::uint64_t uid, bool implicit) {
+    auto it = pending_.find(uid);
+    if (it == pending_.end()) return;
+    node_.sim().cancel(it->second.timer);
+    pending_.erase(it);
+    if (implicit)
+        ++stats_.implicit_acks;
+    else
+        ++stats_.explicit_acks_received;
+}
+
+void AgfwAgent::send_ack(std::uint64_t uid) {
+    if (params_.ack_aggregation > SimTime::zero()) {
+        // §3.2: batch several acknowledgments into one packet.
+        ack_batch_.push_back(uid);
+        if (ack_flush_event_ == sim::kInvalidEvent) {
+            ack_flush_event_ = node_.sim().after(params_.ack_aggregation,
+                                                 [this] { flush_ack_batch(); });
+        }
+        return;
+    }
+    ack_batch_.push_back(uid);
+    flush_ack_batch();
+}
+
+void AgfwAgent::flush_ack_batch() {
+    ack_flush_event_ = sim::kInvalidEvent;
+    if (ack_batch_.empty()) return;
+    auto ack = std::make_shared<Packet>();
+    ack->type = net::PacketType::kAgfwAck;
+    ack->ack_uids = std::move(ack_batch_);
+    ack_batch_.clear();
+    ack->uid = fresh_uid();
+    ack->wire_bytes = static_cast<std::uint32_t>(net::codec::encoded_size(*ack));
+    ++stats_.acks_sent;
+    stats_.control_bytes += ack->wire_bytes;
+    node_.mac().send_broadcast(std::move(ack));
+}
+
+void AgfwAgent::last_attempt(const PacketPtr& pkt) {
+    auto copy = net::clone_packet(*pkt);
+    copy->next_hop_pseudonym = crypto::kLastAttemptPseudonym;
+    copy->hops = static_cast<std::uint16_t>(pkt->hops + 1);
+    ++stats_.last_attempts;
+    stats_.data_bytes += copy->wire_bytes;
+    node_.mac().send_broadcast(std::move(copy));
+}
+
+void AgfwAgent::attempt_trapdoor(const PacketPtr& pkt, std::function<void(bool)> done) {
+    ++stats_.trapdoor_attempts;
+    charge(engine_.costs().pk_decrypt, [this, pkt, done = std::move(done)] {
+        const auto payload = engine_.try_open_trapdoor(node_.id(), pkt->trapdoor);
+        if (payload) ++stats_.trapdoor_opens;
+        done(payload.has_value());
+    });
+}
+
+void AgfwAgent::deliver_local(const PacketPtr& pkt) {
+    ++stats_.delivered;
+    if (deliver_) deliver_(node_.id(), *pkt);
+}
+
+void AgfwAgent::on_packet(const PacketPtr& pkt, MacAddr /*src*/) {
+    switch (pkt->type) {
+        case net::PacketType::kAgfwHello:
+            handle_hello(pkt);
+            return;
+        case net::PacketType::kAgfwAck:
+            for (std::uint64_t uid : pkt->ack_uids)
+                resolve_ack(uid, /*implicit=*/false);
+            return;
+        case net::PacketType::kAgfwData:
+        case net::PacketType::kLocUpdate:
+        case net::PacketType::kLocRequest:
+        case net::PacketType::kLocReply:
+        case net::PacketType::kLocReplicate:
+            break;
+        default:
+            return;  // GPSR traffic in a mixed network: not ours
+    }
+
+    // Implicit/piggybacked ACK (§3.2): overhearing the next hop relaying the
+    // same uid onward proves it took custody.
+    if (params_.use_net_ack && !pseudonyms_.is_mine(pkt->next_hop_pseudonym) &&
+        pending_.contains(pkt->uid)) {
+        resolve_ack(pkt->uid, /*implicit=*/true);
+    }
+
+    if (pseudonyms_.is_mine(pkt->next_hop_pseudonym)) {
+        handle_committed(pkt);
+    } else if (pkt->next_hop_pseudonym == crypto::kLastAttemptPseudonym) {
+        handle_last_attempt(pkt);
+    }
+    // Otherwise: committed to someone else — discard (Algorithm 3.2).
+}
+
+void AgfwAgent::handle_committed(const PacketPtr& pkt) {
+    if (seen(pkt->uid)) {
+        // We already processed this packet; our ACK (or forwarded copy) was
+        // lost — re-acknowledge explicitly.
+        if (params_.use_net_ack) send_ack(pkt->uid);
+        return;
+    }
+
+    // Location-service packets ride the same anonymous forwarding.
+    if (pkt->type != net::PacketType::kAgfwData) {
+        mark_seen(pkt->uid);
+        if (params_.use_net_ack) send_ack(pkt->uid);
+        if (ls_ && ls_->handle(pkt)) return;
+        if (!forward_with_recovery(pkt)) {
+            if (ls_ && ls_->handle_stuck(pkt)) return;
+            ++stats_.stop_no_route;
+        }
+        return;
+    }
+
+    // Algorithm 3.2, committed-forwarder branch.
+    if (in_last_hop_region(pkt->dst_loc)) {
+        mark_seen(pkt->uid);
+        // Decrypting takes 8.5 ms — acknowledge custody first.
+        if (params_.use_net_ack) send_ack(pkt->uid);
+        attempt_trapdoor(pkt, [this, pkt](bool opened) {
+            if (opened) {
+                deliver_local(pkt);
+            } else if (!try_forward(pkt)) {
+                last_attempt(pkt);
+            }
+        });
+        return;
+    }
+
+    if (forward_with_recovery(pkt)) {
+        mark_seen(pkt->uid);
+        // Piggybacked ACK: the forwarded broadcast we just queued doubles as
+        // the acknowledgment the previous hop overhears.
+        if (params_.use_net_ack && !params_.piggyback_acks) send_ack(pkt->uid);
+    } else {
+        // Stuck mid-path: do not ACK — the previous hop's timeout will pick
+        // an alternate relay (its reroute budget is the recovery §6 defers).
+        ++stats_.stop_no_route;
+    }
+}
+
+void AgfwAgent::handle_last_attempt(const PacketPtr& pkt) {
+    if (seen(pkt->uid)) return;
+
+    if (pkt->type != net::PacketType::kAgfwData) {
+        // LS assist/replication copies: consume via the LS, never re-route.
+        if (ls_) {
+            mark_seen(pkt->uid);
+            ls_->handle(pkt);
+        }
+        return;
+    }
+
+    mark_seen(pkt->uid);
+    attempt_trapdoor(pkt, [this, pkt](bool opened) {
+        if (opened) {
+            if (params_.use_net_ack) send_ack(pkt->uid);
+            deliver_local(pkt);
+        }
+        // else: discard (Algorithm 3.2).
+    });
+}
+
+void AgfwAgent::on_mac_tx_done(const PacketPtr& /*pkt*/, MacAddr /*dst*/,
+                               bool /*success*/) {
+    // All AGFW transmissions are broadcasts; reliability lives at the
+    // network layer (NL-ACK), so MAC completion carries no signal here.
+}
+
+}  // namespace geoanon::core

@@ -1,0 +1,63 @@
+#include "core/ant.hpp"
+
+#include <algorithm>
+
+namespace geoanon::core {
+
+void AnonymousNeighborTable::insert(const Entry& e) {
+    for (auto& existing : entries_) {
+        if (existing.n == e.n) {
+            if (e.ts >= existing.ts) existing = e;
+            return;
+        }
+    }
+    if (entries_.size() >= params_.max_entries) {
+        // Evict the stalest entry.
+        auto oldest = std::min_element(
+            entries_.begin(), entries_.end(),
+            [](const Entry& a, const Entry& b) { return a.ts < b.ts; });
+        *oldest = e;
+        return;
+    }
+    entries_.push_back(e);
+}
+
+void AnonymousNeighborTable::purge(SimTime now) {
+    std::erase_if(entries_, [now](const Entry& e) { return e.expires <= now; });
+}
+
+void AnonymousNeighborTable::erase(Pseudonym n) {
+    std::erase_if(entries_, [n](const Entry& e) { return e.n == n; });
+}
+
+Vec2 AnonymousNeighborTable::predicted_position(const Entry& e, SimTime now) const {
+    if (!params_.use_velocity) return e.loc;
+    const double age_s = std::max(0.0, (now - e.ts).to_seconds());
+    return e.loc + e.velocity * age_s;
+}
+
+std::optional<AnonymousNeighborTable::Entry> AnonymousNeighborTable::best_next_hop(
+    const Vec2& my_pos, const Vec2& dst_loc, SimTime now,
+    const std::vector<Pseudonym>& exclude) const {
+    const double my_dist = util::distance(my_pos, dst_loc);
+    const Entry* best = nullptr;
+    double best_score = my_dist;  // must beat staying put
+
+    for (const Entry& e : entries_) {
+        if (e.expires <= now) continue;
+        if (std::find(exclude.begin(), exclude.end(), e.n) != exclude.end()) continue;
+        const double age_s = std::max(0.0, (now - e.ts).to_seconds());
+        const double d = util::distance(predicted_position(e, now), dst_loc);
+        // §3.1.1: prefer fresher positions — penalize by how far the node
+        // may have strayed since it reported this position.
+        const double score = d + params_.staleness_penalty_mps * age_s;
+        if (score < best_score) {
+            best_score = score;
+            best = &e;
+        }
+    }
+    if (best == nullptr) return std::nullopt;
+    return *best;
+}
+
+}  // namespace geoanon::core

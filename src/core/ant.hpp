@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "crypto/engine.hpp"
+#include "util/time.hpp"
+#include "util/vec2.hpp"
+
+namespace geoanon::core {
+
+using crypto::Pseudonym;
+using util::SimTime;
+using util::Vec2;
+
+/// Anonymous Neighbor Table (§3.1).
+///
+/// Entries are keyed by pseudonym, not identity, so one physical neighbor
+/// appears as several entries as it rotates pseudonyms — intentionally
+/// uncorrelatable by the receiver. Forwarding must therefore weigh position
+/// *freshness* against raw geographic progress (§3.1.1): a stale "best"
+/// position may belong to a node that has long moved away.
+class AnonymousNeighborTable {
+  public:
+    struct Entry {
+        Pseudonym n{0};
+        Vec2 loc{};
+        Vec2 velocity{};  ///< optional motion hint from the hello
+        SimTime ts{};     ///< sender timestamp of the hello
+        SimTime expires{};
+    };
+
+    struct Params {
+        SimTime ttl{SimTime::seconds(4.5)};
+        /// Position-uncertainty growth rate: an entry aged `a` seconds is
+        /// treated as `staleness_penalty_mps * a` metres worse than it looks.
+        /// Set to 0 to ablate freshness-aware forwarding.
+        double staleness_penalty_mps{10.0};
+        /// Dead-reckon entry positions with the velocity hint when present.
+        bool use_velocity{true};
+        std::size_t max_entries{256};
+    };
+
+    explicit AnonymousNeighborTable(Params params) : params_(params) {}
+
+    /// Insert/update an entry from a hello. A repeated pseudonym (same
+    /// neighbor, no rotation yet) refreshes in place.
+    void insert(const Entry& e);
+
+    /// Drop expired entries (called from the hello tick).
+    void purge(SimTime now);
+
+    /// Remove every entry carrying pseudonym `n` (e.g. after repeated
+    /// network-layer ACK failures to that pseudonym).
+    void erase(Pseudonym n);
+
+    /// Best next hop toward `dst_loc` per the freshness-aware greedy rule.
+    /// Only entries making positive effective progress from `my_pos`
+    /// qualify; entries in `exclude` are skipped. Returns nullopt at a local
+    /// maximum.
+    std::optional<Entry> best_next_hop(const Vec2& my_pos, const Vec2& dst_loc,
+                                       SimTime now,
+                                       const std::vector<Pseudonym>& exclude = {}) const;
+
+    /// Effective position of an entry at `now` (dead-reckoned when enabled).
+    Vec2 predicted_position(const Entry& e, SimTime now) const;
+
+    std::size_t size() const { return entries_.size(); }
+    const std::vector<Entry>& entries() const { return entries_; }
+    const Params& params() const { return params_; }
+
+  private:
+    Params params_;
+    std::vector<Entry> entries_;
+};
+
+}  // namespace geoanon::core

@@ -1,0 +1,63 @@
+#include "core/planar.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace geoanon::core {
+
+std::vector<AnonymousNeighborTable::Entry> rng_planarize(
+    const Vec2& self, const std::vector<AnonymousNeighborTable::Entry>& neighbors) {
+    std::vector<AnonymousNeighborTable::Entry> kept;
+    kept.reserve(neighbors.size());
+    for (const auto& v : neighbors) {
+        const double d_uv = util::distance(self, v.loc);
+        bool witnessed = false;
+        for (const auto& w : neighbors) {
+            if (w.n == v.n) continue;
+            const double d_uw = util::distance(self, w.loc);
+            const double d_vw = util::distance(v.loc, w.loc);
+            if (std::max(d_uw, d_vw) < d_uv) {
+                witnessed = true;
+                break;
+            }
+        }
+        if (!witnessed) kept.push_back(v);
+    }
+    return kept;
+}
+
+double ccw_angle(const Vec2& self, const Vec2& ref_dir, const Vec2& b) {
+    const Vec2 to_b = b - self;
+    const double ref_angle = std::atan2(ref_dir.y, ref_dir.x);
+    const double b_angle = std::atan2(to_b.y, to_b.x);
+    double delta = b_angle - ref_angle;
+    const double two_pi = 2.0 * M_PI;
+    while (delta < 0.0) delta += two_pi;
+    while (delta >= two_pi) delta -= two_pi;
+    return delta;
+}
+
+std::optional<AnonymousNeighborTable::Entry> right_hand_next(
+    const Vec2& self, const Vec2& came_from,
+    const std::vector<AnonymousNeighborTable::Entry>& planar,
+    const std::vector<Pseudonym>& exclude) {
+    const Vec2 incoming = came_from - self;  // direction back along the arrival edge
+    const AnonymousNeighborTable::Entry* best = nullptr;
+    double best_angle = 0.0;
+    for (const auto& e : planar) {
+        if (std::find(exclude.begin(), exclude.end(), e.n) != exclude.end()) continue;
+        // Strictly positive angle: never pick the reverse edge first; it can
+        // still be chosen when it is the only remaining edge (angle 2*pi
+        // epsilon handling below).
+        double angle = ccw_angle(self, incoming, e.loc);
+        if (angle < 1e-9) angle = 2.0 * M_PI;  // reverse edge: last resort
+        if (best == nullptr || angle < best_angle) {
+            best = &e;
+            best_angle = angle;
+        }
+    }
+    if (best == nullptr) return std::nullopt;
+    return *best;
+}
+
+}  // namespace geoanon::core

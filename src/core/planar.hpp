@@ -1,0 +1,46 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/ant.hpp"
+#include "util/vec2.hpp"
+
+namespace geoanon::core {
+
+using util::Vec2;
+
+/// Planar-graph helpers for perimeter-mode recovery — the extension §6 of
+/// the paper defers to future work ("recovery strategies like perimeter
+/// forwarding [GPSR] could be applied ... it should not be difficult to
+/// extend the scheme").
+///
+/// The ANT gives positions under pseudonyms, so planarization runs over
+/// pseudonym entries exactly as GPSR runs over neighbor ids. One physical
+/// neighbor may appear as several close-by entries; the Relative
+/// Neighborhood Graph simply keeps the freshest useful edges, which
+/// preserves the right-hand traversal in practice (see tests and
+/// bench/ablation_perimeter).
+
+/// Relative Neighborhood Graph filter: keep the edge (self, v) iff there is
+/// no witness w among the neighbors with
+///   max(d(self, w), d(v, w)) < d(self, v).
+/// The result is a (locally computed) planar subgraph when positions are
+/// accurate — the same construction GPSR uses.
+std::vector<AnonymousNeighborTable::Entry> rng_planarize(
+    const Vec2& self, const std::vector<AnonymousNeighborTable::Entry>& neighbors);
+
+/// Counterclockwise angle of b around `self`, measured from direction `ref`
+/// (radians in [0, 2*pi)).
+double ccw_angle(const Vec2& self, const Vec2& ref_dir, const Vec2& b);
+
+/// Right-hand rule: the first planar neighbor counterclockwise from the
+/// incoming direction (the edge the packet arrived on, or the line toward
+/// the destination when entering perimeter mode). `exclude` skips pseudonyms
+/// (e.g. our own); returns nullopt when no usable neighbor exists.
+std::optional<AnonymousNeighborTable::Entry> right_hand_next(
+    const Vec2& self, const Vec2& came_from,
+    const std::vector<AnonymousNeighborTable::Entry>& planar,
+    const std::vector<Pseudonym>& exclude);
+
+}  // namespace geoanon::core

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <array>
+
+#include "crypto/engine.hpp"
+#include "util/rng.hpp"
+
+namespace geoanon::core {
+
+using crypto::Pseudonym;
+
+/// Manages a node's own rotating pseudonyms (§3.1.1).
+///
+/// A fresh pseudonym n = hash(pr, id) is generated for every hello message;
+/// the node memorizes its *two latest* pseudonyms and accepts packets
+/// addressed to either — the paper's rule for bridging a forwarder that
+/// picked the pre-rotation table entry.
+class PseudonymManager {
+  public:
+    PseudonymManager(const crypto::CryptoEngine& engine, crypto::NodeIdNum id,
+                     util::Rng& rng)
+        : engine_(engine), id_(id), rng_(rng) {
+        rotate();
+    }
+
+    /// Generate and adopt a fresh pseudonym; the previous one stays valid.
+    Pseudonym rotate() {
+        previous_ = current_;
+        current_ = engine_.make_pseudonym(id_, rng_.next_u64());
+        return current_;
+    }
+
+    Pseudonym current() const { return current_; }
+    Pseudonym previous() const { return previous_; }
+
+    /// Accept packets addressed to either of the two latest pseudonyms.
+    bool is_mine(Pseudonym n) const {
+        return n != crypto::kLastAttemptPseudonym && (n == current_ || n == previous_);
+    }
+
+  private:
+    const crypto::CryptoEngine& engine_;
+    crypto::NodeIdNum id_;
+    util::Rng& rng_;
+    Pseudonym current_{crypto::kLastAttemptPseudonym};
+    Pseudonym previous_{crypto::kLastAttemptPseudonym};
+};
+
+}  // namespace geoanon::core

@@ -1,0 +1,417 @@
+#include "crypto/bignum.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+namespace geoanon::crypto {
+
+namespace {
+constexpr std::uint64_t kBase = 1ULL << 32;
+}
+
+void Bignum::trim() {
+    while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+Bignum::Bignum(std::uint64_t v) {
+    if (v != 0) limbs_.push_back(static_cast<std::uint32_t>(v));
+    if (v >> 32) limbs_.push_back(static_cast<std::uint32_t>(v >> 32));
+}
+
+Bignum Bignum::from_bytes_be(std::span<const std::uint8_t> bytes) {
+    Bignum out;
+    out.limbs_.assign((bytes.size() + 3) / 4, 0);
+    for (std::size_t i = 0; i < bytes.size(); ++i) {
+        // byte i (big-endian) contributes to bit position 8*(size-1-i)
+        const std::size_t byte_from_lsb = bytes.size() - 1 - i;
+        out.limbs_[byte_from_lsb / 4] |=
+            static_cast<std::uint32_t>(bytes[i]) << (8 * (byte_from_lsb % 4));
+    }
+    out.trim();
+    return out;
+}
+
+util::Bytes Bignum::to_bytes_be(std::size_t width) const {
+    util::Bytes out(width, 0);
+    for (std::size_t i = 0; i < width; ++i) {
+        const std::size_t byte_from_lsb = width - 1 - i;
+        const std::size_t limb = byte_from_lsb / 4;
+        if (limb < limbs_.size())
+            out[i] = static_cast<std::uint8_t>(limbs_[limb] >> (8 * (byte_from_lsb % 4)));
+    }
+    return out;
+}
+
+std::optional<Bignum> Bignum::from_hex(std::string_view hex) {
+    std::string padded(hex);
+    if (padded.size() % 2 != 0) padded.insert(padded.begin(), '0');
+    auto bytes = util::from_hex(padded);
+    if (!bytes) return std::nullopt;
+    return from_bytes_be(*bytes);
+}
+
+std::string Bignum::to_hex() const {
+    if (is_zero()) return "0";
+    std::string s = util::to_hex(to_bytes_be());
+    const std::size_t nz = s.find_first_not_of('0');
+    return nz == std::string::npos ? "0" : s.substr(nz);
+}
+
+std::size_t Bignum::bit_length() const {
+    if (limbs_.empty()) return 0;
+    return (limbs_.size() - 1) * 32 +
+           (32 - static_cast<std::size_t>(std::countl_zero(limbs_.back())));
+}
+
+bool Bignum::bit(std::size_t i) const {
+    const std::size_t limb = i / 32;
+    if (limb >= limbs_.size()) return false;
+    return (limbs_[limb] >> (i % 32)) & 1u;
+}
+
+std::uint64_t Bignum::low_u64() const {
+    std::uint64_t v = limbs_.empty() ? 0 : limbs_[0];
+    if (limbs_.size() > 1) v |= static_cast<std::uint64_t>(limbs_[1]) << 32;
+    return v;
+}
+
+int Bignum::cmp(const Bignum& a, const Bignum& b) {
+    if (a.limbs_.size() != b.limbs_.size())
+        return a.limbs_.size() < b.limbs_.size() ? -1 : 1;
+    for (std::size_t i = a.limbs_.size(); i-- > 0;) {
+        if (a.limbs_[i] != b.limbs_[i]) return a.limbs_[i] < b.limbs_[i] ? -1 : 1;
+    }
+    return 0;
+}
+
+Bignum Bignum::add(const Bignum& a, const Bignum& b) {
+    Bignum out;
+    const std::size_t n = std::max(a.limbs_.size(), b.limbs_.size());
+    out.limbs_.resize(n + 1, 0);
+    std::uint64_t carry = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        std::uint64_t s = carry;
+        if (i < a.limbs_.size()) s += a.limbs_[i];
+        if (i < b.limbs_.size()) s += b.limbs_[i];
+        out.limbs_[i] = static_cast<std::uint32_t>(s);
+        carry = s >> 32;
+    }
+    out.limbs_[n] = static_cast<std::uint32_t>(carry);
+    out.trim();
+    return out;
+}
+
+Bignum Bignum::sub(const Bignum& a, const Bignum& b) {
+    assert(cmp(a, b) >= 0 && "Bignum::sub requires a >= b");
+    Bignum out;
+    out.limbs_.resize(a.limbs_.size(), 0);
+    std::int64_t borrow = 0;
+    for (std::size_t i = 0; i < a.limbs_.size(); ++i) {
+        std::int64_t d = static_cast<std::int64_t>(a.limbs_[i]) - borrow;
+        if (i < b.limbs_.size()) d -= b.limbs_[i];
+        if (d < 0) {
+            d += static_cast<std::int64_t>(kBase);
+            borrow = 1;
+        } else {
+            borrow = 0;
+        }
+        out.limbs_[i] = static_cast<std::uint32_t>(d);
+    }
+    out.trim();
+    return out;
+}
+
+Bignum Bignum::mul(const Bignum& a, const Bignum& b) {
+    if (a.is_zero() || b.is_zero()) return Bignum{};
+    Bignum out;
+    out.limbs_.assign(a.limbs_.size() + b.limbs_.size(), 0);
+    for (std::size_t i = 0; i < a.limbs_.size(); ++i) {
+        std::uint64_t carry = 0;
+        const std::uint64_t ai = a.limbs_[i];
+        for (std::size_t j = 0; j < b.limbs_.size(); ++j) {
+            const std::uint64_t cur =
+                static_cast<std::uint64_t>(out.limbs_[i + j]) + ai * b.limbs_[j] + carry;
+            out.limbs_[i + j] = static_cast<std::uint32_t>(cur);
+            carry = cur >> 32;
+        }
+        std::size_t k = i + b.limbs_.size();
+        while (carry != 0) {
+            const std::uint64_t cur = static_cast<std::uint64_t>(out.limbs_[k]) + carry;
+            out.limbs_[k] = static_cast<std::uint32_t>(cur);
+            carry = cur >> 32;
+            ++k;
+        }
+    }
+    out.trim();
+    return out;
+}
+
+Bignum Bignum::shl(const Bignum& a, std::size_t bits) {
+    if (a.is_zero() || bits == 0) {
+        Bignum out = a;
+        return out;
+    }
+    const std::size_t limb_shift = bits / 32;
+    const std::size_t bit_shift = bits % 32;
+    Bignum out;
+    out.limbs_.assign(a.limbs_.size() + limb_shift + 1, 0);
+    for (std::size_t i = 0; i < a.limbs_.size(); ++i) {
+        const std::uint64_t v = static_cast<std::uint64_t>(a.limbs_[i]) << bit_shift;
+        out.limbs_[i + limb_shift] |= static_cast<std::uint32_t>(v);
+        out.limbs_[i + limb_shift + 1] |= static_cast<std::uint32_t>(v >> 32);
+    }
+    out.trim();
+    return out;
+}
+
+Bignum Bignum::shr(const Bignum& a, std::size_t bits) {
+    const std::size_t limb_shift = bits / 32;
+    const std::size_t bit_shift = bits % 32;
+    if (limb_shift >= a.limbs_.size()) return Bignum{};
+    Bignum out;
+    out.limbs_.assign(a.limbs_.size() - limb_shift, 0);
+    for (std::size_t i = 0; i < out.limbs_.size(); ++i) {
+        std::uint64_t v = static_cast<std::uint64_t>(a.limbs_[i + limb_shift]) >> bit_shift;
+        if (bit_shift != 0 && i + limb_shift + 1 < a.limbs_.size())
+            v |= static_cast<std::uint64_t>(a.limbs_[i + limb_shift + 1]) << (32 - bit_shift);
+        out.limbs_[i] = static_cast<std::uint32_t>(v);
+    }
+    out.trim();
+    return out;
+}
+
+std::pair<Bignum, Bignum> Bignum::divmod(const Bignum& num, const Bignum& den) {
+    assert(!den.is_zero() && "division by zero");
+    if (cmp(num, den) < 0) return {Bignum{}, num};
+
+    // Single-limb divisor: simple schoolbook short division.
+    if (den.limbs_.size() == 1) {
+        const std::uint64_t d = den.limbs_[0];
+        Bignum q;
+        q.limbs_.assign(num.limbs_.size(), 0);
+        std::uint64_t rem = 0;
+        for (std::size_t i = num.limbs_.size(); i-- > 0;) {
+            const std::uint64_t cur = (rem << 32) | num.limbs_[i];
+            q.limbs_[i] = static_cast<std::uint32_t>(cur / d);
+            rem = cur % d;
+        }
+        q.trim();
+        return {std::move(q), Bignum{rem}};
+    }
+
+    // Knuth TAOCP Vol.2 Algorithm D (base 2^32).
+    const int shift = std::countl_zero(den.limbs_.back());
+    const Bignum u = shl(num, static_cast<std::size_t>(shift));
+    const Bignum v = shl(den, static_cast<std::size_t>(shift));
+    const std::size_t n = v.limbs_.size();
+    std::vector<std::uint32_t> un = u.limbs_;
+    un.push_back(0);  // classic Algorithm D high guard digit
+    const std::size_t m = un.size() - n;  // quotient has up to m limbs
+
+    Bignum q;
+    q.limbs_.assign(m, 0);
+    const std::uint64_t v_hi = v.limbs_[n - 1];
+    const std::uint64_t v_lo = v.limbs_[n - 2];
+
+    for (std::size_t j = m; j-- > 0;) {
+        const std::uint64_t numerator =
+            (static_cast<std::uint64_t>(un[j + n]) << 32) | un[j + n - 1];
+        std::uint64_t qhat = numerator / v_hi;
+        std::uint64_t rhat = numerator % v_hi;
+        while (qhat >= kBase || qhat * v_lo > ((rhat << 32) | un[j + n - 2])) {
+            --qhat;
+            rhat += v_hi;
+            if (rhat >= kBase) break;
+        }
+
+        // Multiply-subtract qhat * v from un[j .. j+n].
+        std::int64_t borrow = 0;
+        std::uint64_t carry = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            const std::uint64_t p = qhat * v.limbs_[i] + carry;
+            carry = p >> 32;
+            std::int64_t t = static_cast<std::int64_t>(un[i + j]) -
+                             static_cast<std::int64_t>(p & 0xFFFFFFFFULL) - borrow;
+            if (t < 0) {
+                t += static_cast<std::int64_t>(kBase);
+                borrow = 1;
+            } else {
+                borrow = 0;
+            }
+            un[i + j] = static_cast<std::uint32_t>(t);
+        }
+        std::int64_t t = static_cast<std::int64_t>(un[j + n]) -
+                         static_cast<std::int64_t>(carry) - borrow;
+        if (t < 0) {
+            // qhat was one too large: add back.
+            t += static_cast<std::int64_t>(kBase);
+            --qhat;
+            std::uint64_t c = 0;
+            for (std::size_t i = 0; i < n; ++i) {
+                const std::uint64_t s =
+                    static_cast<std::uint64_t>(un[i + j]) + v.limbs_[i] + c;
+                un[i + j] = static_cast<std::uint32_t>(s);
+                c = s >> 32;
+            }
+            t += static_cast<std::int64_t>(c);
+            t &= static_cast<std::int64_t>(0xFFFFFFFFLL);
+        }
+        un[j + n] = static_cast<std::uint32_t>(t);
+        q.limbs_[j] = static_cast<std::uint32_t>(qhat);
+    }
+    q.trim();
+
+    Bignum r;
+    r.limbs_.assign(un.begin(), un.begin() + static_cast<std::ptrdiff_t>(n));
+    r.trim();
+    r = shr(r, static_cast<std::size_t>(shift));
+    return {std::move(q), std::move(r)};
+}
+
+Bignum Bignum::mulmod(const Bignum& a, const Bignum& b, const Bignum& m) {
+    return mod(mul(a, b), m);
+}
+
+Bignum Bignum::powmod(const Bignum& base, const Bignum& exp, const Bignum& m) {
+    assert(!m.is_zero());
+    if (m == Bignum{1}) return Bignum{};
+    Bignum result{1};
+    Bignum b = mod(base, m);
+    const std::size_t bits = exp.bit_length();
+    for (std::size_t i = bits; i-- > 0;) {
+        result = mulmod(result, result, m);
+        if (exp.bit(i)) result = mulmod(result, b, m);
+    }
+    return result;
+}
+
+Bignum Bignum::gcd(Bignum a, Bignum b) {
+    while (!b.is_zero()) {
+        Bignum r = mod(a, b);
+        a = std::move(b);
+        b = std::move(r);
+    }
+    return a;
+}
+
+std::optional<Bignum> Bignum::modinv(const Bignum& a, const Bignum& m) {
+    // Extended Euclid with coefficients tracked as (value, negative?) pairs
+    // so we can stay in unsigned arithmetic.
+    Bignum old_r = mod(a, m), r = m;
+    Bignum old_s{1}, s{};
+    bool old_s_neg = false, s_neg = false;
+
+    while (!r.is_zero()) {
+        auto [q, rem] = divmod(old_r, r);
+        old_r = std::move(r);
+        r = std::move(rem);
+
+        // new_s = old_s - q * s  (signed)
+        Bignum qs = mul(q, s);
+        Bignum new_s;
+        bool new_s_neg;
+        if (old_s_neg == s_neg) {
+            if (cmp(old_s, qs) >= 0) {
+                new_s = sub(old_s, qs);
+                new_s_neg = old_s_neg;
+            } else {
+                new_s = sub(qs, old_s);
+                new_s_neg = !old_s_neg;
+            }
+        } else {
+            new_s = add(old_s, qs);
+            new_s_neg = old_s_neg;
+        }
+        old_s = std::move(s);
+        old_s_neg = s_neg;
+        s = std::move(new_s);
+        s_neg = new_s_neg;
+    }
+
+    if (!(old_r == Bignum{1})) return std::nullopt;  // not coprime
+    if (old_s_neg) return sub(m, mod(old_s, m));
+    return mod(old_s, m);
+}
+
+Bignum Bignum::random_below(util::Rng& rng, const Bignum& bound) {
+    assert(!bound.is_zero());
+    const std::size_t bits = bound.bit_length();
+    while (true) {
+        Bignum candidate;
+        candidate.limbs_.assign((bits + 31) / 32, 0);
+        for (auto& limb : candidate.limbs_)
+            limb = static_cast<std::uint32_t>(rng.next_u64());
+        // Mask excess bits in the top limb.
+        const std::size_t excess = candidate.limbs_.size() * 32 - bits;
+        if (excess > 0) candidate.limbs_.back() >>= excess;
+        candidate.trim();
+        if (cmp(candidate, bound) < 0) return candidate;
+    }
+}
+
+Bignum Bignum::random_bits(util::Rng& rng, std::size_t bits) {
+    assert(bits > 0);
+    Bignum out;
+    out.limbs_.assign((bits + 31) / 32, 0);
+    for (auto& limb : out.limbs_) limb = static_cast<std::uint32_t>(rng.next_u64());
+    const std::size_t excess = out.limbs_.size() * 32 - bits;
+    if (excess > 0) out.limbs_.back() >>= excess;
+    out.limbs_.back() |= 1u << ((bits - 1) % 32);  // force top bit
+    out.trim();
+    return out;
+}
+
+bool Bignum::is_probable_prime(const Bignum& n, util::Rng& rng, int rounds) {
+    if (n.bit_length() <= 1) return false;  // 0, 1
+    static const std::uint32_t kSmallPrimes[] = {2,  3,  5,  7,  11, 13, 17, 19, 23, 29,
+                                                 31, 37, 41, 43, 47, 53, 59, 61, 67, 71};
+    for (std::uint32_t p : kSmallPrimes) {
+        const Bignum bp{p};
+        if (n == bp) return true;
+        if (mod(n, bp).is_zero()) return false;
+    }
+
+    // n - 1 = d * 2^s
+    const Bignum n_minus_1 = sub(n, Bignum{1});
+    Bignum d = n_minus_1;
+    std::size_t s = 0;
+    while (!d.is_odd()) {
+        d = shr(d, 1);
+        ++s;
+    }
+
+    auto witness = [&](const Bignum& a) {
+        Bignum x = powmod(a, d, n);
+        if (x == Bignum{1} || x == n_minus_1) return false;  // not a witness
+        for (std::size_t i = 1; i < s; ++i) {
+            x = mulmod(x, x, n);
+            if (x == n_minus_1) return false;
+        }
+        return true;  // composite witness found
+    };
+
+    if (witness(Bignum{2})) return false;
+    const Bignum upper = sub(n, Bignum{3});  // bases in [2, n-2]
+    for (int i = 0; i < rounds; ++i) {
+        const Bignum a = add(random_below(rng, upper), Bignum{2});
+        if (witness(a)) return false;
+    }
+    return true;
+}
+
+Bignum Bignum::random_prime(util::Rng& rng, std::size_t bits) {
+    assert(bits >= 8);
+    while (true) {
+        Bignum candidate = random_bits(rng, bits);
+        // Force second-highest bit (product of two such primes has 2*bits
+        // bits) and make odd.
+        candidate = add(candidate, Bignum{candidate.is_odd() ? 0u : 1u});
+        if (!candidate.bit(bits - 2)) candidate = add(candidate, shl(Bignum{1}, bits - 2));
+        if (!candidate.bit(bits - 1)) candidate = add(candidate, shl(Bignum{1}, bits - 1));
+        if (candidate.bit_length() != bits) continue;  // carry overflowed; retry
+        if (is_probable_prime(candidate, rng, 16)) return candidate;
+    }
+}
+
+}  // namespace geoanon::crypto

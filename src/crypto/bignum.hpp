@@ -1,0 +1,91 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+
+namespace geoanon::crypto {
+
+/// Arbitrary-precision unsigned integer with 32-bit little-endian limbs.
+///
+/// Implements exactly what RSA-512 and the RST ring signature need: compare,
+/// add/sub, schoolbook multiply, Knuth Algorithm D division, square-and-
+/// multiply modexp, extended-Euclid modular inverse, and Miller–Rabin.
+/// Values are always normalized (no leading zero limbs; zero == empty).
+class Bignum {
+  public:
+    Bignum() = default;
+    explicit Bignum(std::uint64_t v);
+
+    /// Big-endian byte import/export (the wire format used by RSA blocks).
+    static Bignum from_bytes_be(std::span<const std::uint8_t> bytes);
+    /// Export as exactly `width` big-endian bytes (zero-padded). If the value
+    /// needs more than `width` bytes the result is truncated modulo 2^(8w),
+    /// so callers must size `width` from bit_length().
+    util::Bytes to_bytes_be(std::size_t width) const;
+    util::Bytes to_bytes_be() const { return to_bytes_be(byte_length()); }
+
+    static std::optional<Bignum> from_hex(std::string_view hex);
+    std::string to_hex() const;
+
+    bool is_zero() const { return limbs_.empty(); }
+    bool is_odd() const { return !limbs_.empty() && (limbs_[0] & 1u); }
+    /// Number of significant bits; 0 for zero.
+    std::size_t bit_length() const;
+    std::size_t byte_length() const { return (bit_length() + 7) / 8; }
+    bool bit(std::size_t i) const;
+    /// Low 64 bits of the value.
+    std::uint64_t low_u64() const;
+
+    // Comparison: -1, 0, +1.
+    static int cmp(const Bignum& a, const Bignum& b);
+    bool operator==(const Bignum& o) const { return cmp(*this, o) == 0; }
+    bool operator<(const Bignum& o) const { return cmp(*this, o) < 0; }
+    bool operator<=(const Bignum& o) const { return cmp(*this, o) <= 0; }
+    bool operator>(const Bignum& o) const { return cmp(*this, o) > 0; }
+    bool operator>=(const Bignum& o) const { return cmp(*this, o) >= 0; }
+
+    static Bignum add(const Bignum& a, const Bignum& b);
+    /// Requires a >= b.
+    static Bignum sub(const Bignum& a, const Bignum& b);
+    static Bignum mul(const Bignum& a, const Bignum& b);
+    static Bignum shl(const Bignum& a, std::size_t bits);
+    static Bignum shr(const Bignum& a, std::size_t bits);
+
+    /// Knuth Algorithm D. Divisor must be nonzero. Returns {quotient, remainder}.
+    static std::pair<Bignum, Bignum> divmod(const Bignum& num, const Bignum& den);
+    static Bignum mod(const Bignum& a, const Bignum& m) { return divmod(a, m).second; }
+
+    /// (a * b) mod m.
+    static Bignum mulmod(const Bignum& a, const Bignum& b, const Bignum& m);
+    /// base^exp mod m via left-to-right square-and-multiply. m must be > 0.
+    static Bignum powmod(const Bignum& base, const Bignum& exp, const Bignum& m);
+
+    /// gcd(a, b).
+    static Bignum gcd(Bignum a, Bignum b);
+    /// Modular inverse of a mod m (m > 1); nullopt when gcd(a, m) != 1.
+    static std::optional<Bignum> modinv(const Bignum& a, const Bignum& m);
+
+    /// Uniform value in [0, bound) via rejection sampling. bound must be > 0.
+    static Bignum random_below(util::Rng& rng, const Bignum& bound);
+    /// Uniform value with exactly `bits` bits (top bit forced to 1).
+    static Bignum random_bits(util::Rng& rng, std::size_t bits);
+
+    /// Miller–Rabin with `rounds` random bases (plus a base-2 round).
+    static bool is_probable_prime(const Bignum& n, util::Rng& rng, int rounds = 32);
+    /// Random prime with exactly `bits` bits (top two bits set so products of
+    /// two such primes have exactly 2*bits bits, as RSA keygen wants).
+    static Bignum random_prime(util::Rng& rng, std::size_t bits);
+
+  private:
+    void trim();
+    std::vector<std::uint32_t> limbs_;  // little-endian base 2^32
+};
+
+}  // namespace geoanon::crypto

@@ -1,0 +1,53 @@
+#include "crypto/cert.hpp"
+
+namespace geoanon::crypto {
+
+util::Bytes Certificate::to_be_signed() const {
+    util::ByteWriter w;
+    w.u64(subject_id);
+    w.bytes(subject_key.serialize());
+    return w.take();
+}
+
+util::Bytes Certificate::serialize() const {
+    util::ByteWriter w;
+    w.u64(subject_id);
+    w.bytes(subject_key.serialize());
+    w.bytes(ca_signature);
+    return w.take();
+}
+
+std::optional<Certificate> Certificate::deserialize(util::ByteReader& reader) {
+    Certificate cert;
+    auto id = reader.u64();
+    if (!id) return std::nullopt;
+    cert.subject_id = *id;
+    auto key_bytes = reader.bytes();
+    if (!key_bytes) return std::nullopt;
+    util::ByteReader key_reader(*key_bytes);
+    auto key = RsaPublicKey::deserialize(key_reader);
+    if (!key) return std::nullopt;
+    cert.subject_key = std::move(*key);
+    auto sig = reader.bytes();
+    if (!sig) return std::nullopt;
+    cert.ca_signature = std::move(*sig);
+    return cert;
+}
+
+CertificateAuthority::CertificateAuthority(util::Rng& rng, std::size_t modulus_bits)
+    : keys_(rsa_generate(rng, modulus_bits)), modulus_bits_(modulus_bits) {}
+
+Certificate CertificateAuthority::issue(std::uint64_t subject_id,
+                                        const RsaPublicKey& subject_key) const {
+    Certificate cert;
+    cert.subject_id = subject_id;
+    cert.subject_key = subject_key;
+    cert.ca_signature = rsa_sign(keys_.priv, cert.to_be_signed());
+    return cert;
+}
+
+bool CertificateAuthority::verify(const Certificate& cert) const {
+    return rsa_verify(keys_.pub, cert.to_be_signed(), cert.ca_signature);
+}
+
+}  // namespace geoanon::crypto

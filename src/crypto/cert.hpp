@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "crypto/rsa.hpp"
+#include "util/bytes.hpp"
+
+namespace geoanon::crypto {
+
+/// Minimal X.509 stand-in: binds a node identity to an RSA public key with a
+/// CA signature. The paper assumes every legitimate node holds such a
+/// certificate from an external CA (§3.2, §4).
+struct Certificate {
+    std::uint64_t subject_id{0};
+    RsaPublicKey subject_key;
+    util::Bytes ca_signature;
+
+    /// The byte string the CA signs (id + key, canonical encoding).
+    util::Bytes to_be_signed() const;
+    util::Bytes serialize() const;
+    static std::optional<Certificate> deserialize(util::ByteReader& reader);
+    /// Serialized wire size — what a ring-signed hello pays per attached cert.
+    std::size_t size_bytes() const { return serialize().size(); }
+};
+
+/// Toy certification authority. Simulation-global; nodes obtain certificates
+/// out of band before entering the network, per the paper's key-management
+/// assumption.
+class CertificateAuthority {
+  public:
+    /// Deterministic CA key from `rng`; `modulus_bits` also sizes node keys
+    /// issued through issue().
+    CertificateAuthority(util::Rng& rng, std::size_t modulus_bits);
+
+    const RsaPublicKey& public_key() const { return keys_.pub; }
+    std::size_t modulus_bits() const { return modulus_bits_; }
+
+    /// Sign a certificate binding `subject_id` to `subject_key`.
+    Certificate issue(std::uint64_t subject_id, const RsaPublicKey& subject_key) const;
+
+    /// Check the CA signature on a certificate.
+    bool verify(const Certificate& cert) const;
+
+  private:
+    RsaKeyPair keys_;
+    std::size_t modulus_bits_;
+};
+
+}  // namespace geoanon::crypto

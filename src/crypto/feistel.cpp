@@ -1,0 +1,58 @@
+#include "crypto/feistel.hpp"
+
+#include <cassert>
+
+#include "crypto/sha256.hpp"
+
+namespace geoanon::crypto {
+
+FeistelPermutation::FeistelPermutation(util::Bytes key, std::size_t block_bytes)
+    : key_(std::move(key)), block_bytes_(block_bytes) {
+    assert(block_bytes_ >= 2 && block_bytes_ % 2 == 0);
+}
+
+util::Bytes FeistelPermutation::round_function(int round,
+                                               std::span<const std::uint8_t> half) const {
+    // F(round, R) = first half_size bytes of SHA-256-CTR(key || round || R).
+    util::ByteWriter w;
+    w.bytes(key_);
+    w.u32(static_cast<std::uint32_t>(round));
+    w.bytes(half);
+    const util::Bytes seed = w.take();
+    return sha256_keystream(seed, half.size());
+}
+
+util::Bytes FeistelPermutation::encrypt(std::span<const std::uint8_t> block) const {
+    assert(block.size() == block_bytes_);
+    const std::size_t h = block_bytes_ / 2;
+    util::Bytes left(block.begin(), block.begin() + static_cast<std::ptrdiff_t>(h));
+    util::Bytes right(block.begin() + static_cast<std::ptrdiff_t>(h), block.end());
+    for (int round = 0; round < kRounds; ++round) {
+        const util::Bytes f = round_function(round, right);
+        for (std::size_t i = 0; i < h; ++i) left[i] ^= f[i];
+        std::swap(left, right);
+    }
+    // Undo the final swap so decrypt can run rounds in reverse symmetrically.
+    std::swap(left, right);
+    util::Bytes out = std::move(left);
+    out.insert(out.end(), right.begin(), right.end());
+    return out;
+}
+
+util::Bytes FeistelPermutation::decrypt(std::span<const std::uint8_t> block) const {
+    assert(block.size() == block_bytes_);
+    const std::size_t h = block_bytes_ / 2;
+    util::Bytes left(block.begin(), block.begin() + static_cast<std::ptrdiff_t>(h));
+    util::Bytes right(block.begin() + static_cast<std::ptrdiff_t>(h), block.end());
+    for (int round = kRounds - 1; round >= 0; --round) {
+        const util::Bytes f = round_function(round, right);
+        for (std::size_t i = 0; i < h; ++i) left[i] ^= f[i];
+        std::swap(left, right);
+    }
+    std::swap(left, right);
+    util::Bytes out = std::move(left);
+    out.insert(out.end(), right.begin(), right.end());
+    return out;
+}
+
+}  // namespace geoanon::crypto

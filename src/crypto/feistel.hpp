@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstddef>
+
+#include "util/bytes.hpp"
+
+namespace geoanon::crypto {
+
+/// Keyed pseudorandom permutation over fixed-size byte blocks, built as an
+/// 8-round balanced Feistel network with SHA-256 as the round function.
+///
+/// This is the symmetric cipher E_k required by the Rivest–Shamir–Tauman
+/// ring-signature combining function, which needs an *invertible* keyed
+/// primitive over the common domain (a hash alone would not do).
+class FeistelPermutation {
+  public:
+    static constexpr int kRounds = 8;
+
+    /// `block_bytes` must be even and >= 2 (balanced halves).
+    FeistelPermutation(util::Bytes key, std::size_t block_bytes);
+
+    std::size_t block_bytes() const { return block_bytes_; }
+
+    /// Permute a block forward. `block.size()` must equal block_bytes().
+    util::Bytes encrypt(std::span<const std::uint8_t> block) const;
+    /// Inverse permutation.
+    util::Bytes decrypt(std::span<const std::uint8_t> block) const;
+
+  private:
+    util::Bytes round_function(int round, std::span<const std::uint8_t> half) const;
+
+    util::Bytes key_;
+    std::size_t block_bytes_;
+};
+
+}  // namespace geoanon::crypto

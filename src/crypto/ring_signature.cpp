@@ -1,0 +1,156 @@
+#include "crypto/ring_signature.hpp"
+
+#include <cassert>
+
+#include "crypto/feistel.hpp"
+#include "crypto/sha256.hpp"
+
+namespace geoanon::crypto {
+
+namespace {
+
+/// Extended trapdoor permutation g_i over [0, 2^b) (RST section 3.1):
+/// split m = q*n + r; apply f(r) = r^e mod n when the whole coset fits below
+/// 2^b, otherwise act as the identity on the top sliver.
+Bignum apply_g(const RsaPublicKey& pub, const Bignum& m, const Bignum& two_b) {
+    auto [q, r] = Bignum::divmod(m, pub.n);
+    const Bignum coset_end = Bignum::mul(Bignum::add(q, Bignum{1}), pub.n);
+    if (Bignum::cmp(coset_end, two_b) <= 0)
+        return Bignum::add(Bignum::mul(q, pub.n), rsa_public_op(pub, r));
+    return m;
+}
+
+/// Inverse of apply_g using the member's private key.
+Bignum invert_g(const RsaPrivateKey& priv, const Bignum& y, const Bignum& two_b) {
+    const RsaPublicKey pub = priv.public_key();
+    auto [q, r] = Bignum::divmod(y, pub.n);
+    const Bignum coset_end = Bignum::mul(Bignum::add(q, Bignum{1}), pub.n);
+    if (Bignum::cmp(coset_end, two_b) <= 0)
+        return Bignum::add(Bignum::mul(q, pub.n), rsa_private_op(priv, r));
+    return y;
+}
+
+util::Bytes xor_bytes(std::span<const std::uint8_t> a, std::span<const std::uint8_t> b) {
+    assert(a.size() == b.size());
+    util::Bytes out(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] ^ b[i];
+    return out;
+}
+
+/// Cipher key binds the message and the exact ring (order-sensitive).
+util::Bytes combining_key(std::span<const std::uint8_t> msg,
+                          const std::vector<RsaPublicKey>& ring) {
+    Sha256 h;
+    h.update(msg);
+    for (const auto& pub : ring) {
+        const auto ser = pub.serialize();
+        h.update(ser);
+    }
+    const auto digest = h.finish();
+    return util::Bytes(digest.begin(), digest.end());
+}
+
+}  // namespace
+
+std::size_t ring_block_bytes(const std::vector<RsaPublicKey>& ring) {
+    std::size_t max_bits = 0;
+    for (const auto& pub : ring) max_bits = std::max(max_bits, pub.modulus_bits());
+    const std::size_t b_bits = max_bits + 64;
+    // Round up to a multiple of 16 bits so Feistel halves are whole bytes.
+    return ((b_bits + 15) / 16) * 2;
+}
+
+util::Bytes RingSignature::serialize() const {
+    util::ByteWriter w;
+    w.u32(static_cast<std::uint32_t>(block_bytes));
+    w.bytes(v);
+    w.u32(static_cast<std::uint32_t>(xs.size()));
+    for (const auto& x : xs) w.bytes(x);
+    return w.take();
+}
+
+std::optional<RingSignature> RingSignature::deserialize(util::ByteReader& reader) {
+    RingSignature sig;
+    auto bb = reader.u32();
+    if (!bb) return std::nullopt;
+    sig.block_bytes = *bb;
+    auto v = reader.bytes();
+    if (!v) return std::nullopt;
+    sig.v = std::move(*v);
+    auto count = reader.u32();
+    if (!count) return std::nullopt;
+    sig.xs.reserve(*count);
+    for (std::uint32_t i = 0; i < *count; ++i) {
+        auto x = reader.bytes();
+        if (!x) return std::nullopt;
+        sig.xs.push_back(std::move(*x));
+    }
+    return sig;
+}
+
+RingSignature ring_sign(std::span<const std::uint8_t> msg,
+                        const std::vector<RsaPublicKey>& ring, std::size_t signer_index,
+                        const RsaPrivateKey& priv, util::Rng& rng) {
+    assert(!ring.empty() && signer_index < ring.size());
+    assert(ring[signer_index] == priv.public_key());
+
+    const std::size_t block = ring_block_bytes(ring);
+    const Bignum two_b = Bignum::shl(Bignum{1}, block * 8);
+    const FeistelPermutation cipher(combining_key(msg, ring), block);
+    const std::size_t r = ring.size();
+
+    // Random x_i (and thus y_i = g_i(x_i)) for everyone but the signer.
+    std::vector<util::Bytes> xs(r);
+    std::vector<util::Bytes> ys(r);
+    for (std::size_t i = 0; i < r; ++i) {
+        if (i == signer_index) continue;
+        const Bignum x = Bignum::random_below(rng, two_b);
+        xs[i] = x.to_bytes_be(block);
+        ys[i] = apply_g(ring[i], x, two_b).to_bytes_be(block);
+    }
+
+    // Random glue value v; walk the ring equation z_i = E_k(z_{i-1} XOR y_i)
+    // forward to the signer's slot and backward from z_r = v, then solve for
+    // the signer's y.
+    const util::Bytes v = Bignum::random_below(rng, two_b).to_bytes_be(block);
+
+    util::Bytes z_before = v;  // z_{signer_index} counting slots 0..r-1 forward
+    for (std::size_t i = 0; i < signer_index; ++i)
+        z_before = cipher.encrypt(xor_bytes(z_before, ys[i]));
+
+    util::Bytes z_after = v;  // value that must come out after the signer slot
+    for (std::size_t i = r; i-- > signer_index + 1;)
+        z_after = xor_bytes(cipher.decrypt(z_after), ys[i]);
+
+    // Need E_k(z_before XOR y_s) = z_after  =>  y_s = D_k(z_after) XOR z_before.
+    const util::Bytes y_s = xor_bytes(cipher.decrypt(z_after), z_before);
+    const Bignum x_s = invert_g(priv, Bignum::from_bytes_be(y_s), two_b);
+    xs[signer_index] = x_s.to_bytes_be(block);
+
+    RingSignature sig;
+    sig.v = v;
+    sig.xs = std::move(xs);
+    sig.block_bytes = block;
+    return sig;
+}
+
+bool ring_verify(std::span<const std::uint8_t> msg, const std::vector<RsaPublicKey>& ring,
+                 const RingSignature& sig) {
+    if (ring.empty() || sig.xs.size() != ring.size()) return false;
+    const std::size_t block = ring_block_bytes(ring);
+    if (sig.block_bytes != block || sig.v.size() != block) return false;
+    for (const auto& x : sig.xs)
+        if (x.size() != block) return false;
+
+    const Bignum two_b = Bignum::shl(Bignum{1}, block * 8);
+    const FeistelPermutation cipher(combining_key(msg, ring), block);
+
+    util::Bytes z = sig.v;
+    for (std::size_t i = 0; i < ring.size(); ++i) {
+        const Bignum y = apply_g(ring[i], Bignum::from_bytes_be(sig.xs[i]), two_b);
+        z = cipher.encrypt(xor_bytes(z, y.to_bytes_be(block)));
+    }
+    return util::bytes_equal(z, sig.v);
+}
+
+}  // namespace geoanon::crypto

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "crypto/rsa.hpp"
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+
+namespace geoanon::crypto {
+
+/// Rivest–Shamir–Tauman ring signature ("How to leak a secret", ASIACRYPT
+/// 2001) over RSA, as required by the authenticated ANT (§3.1.2): the signer
+/// is provably one of the ring members but indistinguishable among them,
+/// giving the (k+1)-anonymous neighbor table.
+///
+/// Construction: each member's RSA permutation f_i is extended to a common
+/// domain [0, 2^b) (b > every modulus size); the x_i values are chained with
+/// a keyed Feistel permutation E_k, where k = SHA-256(ring || message); the
+/// ring equation C_{k,v}(y_1..y_r) = v closes iff one x was computed with a
+/// member's private key.
+struct RingSignature {
+    util::Bytes v;                   ///< glue value, block_bytes wide
+    std::vector<util::Bytes> xs;     ///< one x_i per ring member, block_bytes wide
+    std::size_t block_bytes{0};      ///< common-domain width in bytes
+
+    std::size_t ring_size() const { return xs.size(); }
+    /// Wire size of the signature itself (certificates are counted separately
+    /// by the protocol layer).
+    std::size_t size_bytes() const { return v.size() + xs.size() * block_bytes; }
+
+    util::Bytes serialize() const;
+    static std::optional<RingSignature> deserialize(util::ByteReader& reader);
+};
+
+/// Common-domain width for a ring: max modulus bits + 64 slack bits, rounded
+/// up so the Feistel halves are byte-aligned.
+std::size_t ring_block_bytes(const std::vector<RsaPublicKey>& ring);
+
+/// Sign `msg` as ring member `signer_index` (whose public key must equal
+/// priv.public_key()). The ring must have at least one member.
+RingSignature ring_sign(std::span<const std::uint8_t> msg,
+                        const std::vector<RsaPublicKey>& ring, std::size_t signer_index,
+                        const RsaPrivateKey& priv, util::Rng& rng);
+
+/// Verify a ring signature against the exact ring used for signing (order
+/// matters: the ring serialization keys the combining cipher).
+bool ring_verify(std::span<const std::uint8_t> msg, const std::vector<RsaPublicKey>& ring,
+                 const RingSignature& sig);
+
+}  // namespace geoanon::crypto

@@ -1,0 +1,126 @@
+#include "crypto/rsa.hpp"
+
+#include "crypto/sha256.hpp"
+
+namespace geoanon::crypto {
+
+util::Bytes RsaPublicKey::serialize() const {
+    util::ByteWriter w;
+    w.bytes(n.to_bytes_be());
+    w.bytes(e.to_bytes_be());
+    return w.take();
+}
+
+std::optional<RsaPublicKey> RsaPublicKey::deserialize(util::ByteReader& reader) {
+    auto nb = reader.bytes();
+    auto eb = reader.bytes();
+    if (!nb || !eb) return std::nullopt;
+    RsaPublicKey pub;
+    pub.n = Bignum::from_bytes_be(*nb);
+    pub.e = Bignum::from_bytes_be(*eb);
+    if (pub.n.is_zero() || pub.e.is_zero()) return std::nullopt;
+    return pub;
+}
+
+std::uint64_t RsaPublicKey::fingerprint() const {
+    const auto ser = serialize();
+    return sha256_u64(ser);
+}
+
+RsaKeyPair rsa_generate(util::Rng& rng, std::size_t modulus_bits) {
+    const std::size_t prime_bits = modulus_bits / 2;
+    const Bignum e{65537};
+    while (true) {
+        Bignum p = Bignum::random_prime(rng, prime_bits);
+        Bignum q = Bignum::random_prime(rng, modulus_bits - prime_bits);
+        if (p == q) continue;
+        const Bignum n = Bignum::mul(p, q);
+        if (n.bit_length() != modulus_bits) continue;
+        const Bignum phi =
+            Bignum::mul(Bignum::sub(p, Bignum{1}), Bignum::sub(q, Bignum{1}));
+        auto d = Bignum::modinv(e, phi);
+        if (!d) continue;  // e not coprime with phi; regenerate
+        RsaKeyPair kp;
+        kp.pub = {n, e};
+        kp.priv = {n, e, *d, std::move(p), std::move(q)};
+        return kp;
+    }
+}
+
+Bignum rsa_public_op(const RsaPublicKey& pub, const Bignum& x) {
+    return Bignum::powmod(x, pub.e, pub.n);
+}
+
+Bignum rsa_private_op(const RsaPrivateKey& priv, const Bignum& y) {
+    return Bignum::powmod(y, priv.d, priv.n);
+}
+
+std::optional<util::Bytes> rsa_encrypt(const RsaPublicKey& pub, util::Rng& rng,
+                                       std::span<const std::uint8_t> msg) {
+    const std::size_t k = pub.modulus_bytes();
+    if (k < 11 || msg.size() > k - 11) return std::nullopt;
+
+    util::Bytes block(k, 0);
+    block[0] = 0x00;
+    block[1] = 0x02;
+    const std::size_t pad_len = k - 3 - msg.size();
+    for (std::size_t i = 0; i < pad_len; ++i)
+        block[2 + i] = static_cast<std::uint8_t>(rng.uniform_int(1, 255));
+    block[2 + pad_len] = 0x00;
+    std::copy(msg.begin(), msg.end(), block.begin() + static_cast<std::ptrdiff_t>(3 + pad_len));
+
+    const Bignum m = Bignum::from_bytes_be(block);
+    const Bignum c = rsa_public_op(pub, m);
+    return c.to_bytes_be(k);
+}
+
+std::optional<util::Bytes> rsa_decrypt(const RsaPrivateKey& priv,
+                                       std::span<const std::uint8_t> ciphertext) {
+    const std::size_t k = (priv.n.bit_length() + 7) / 8;
+    if (ciphertext.size() != k) return std::nullopt;
+    const Bignum c = Bignum::from_bytes_be(ciphertext);
+    if (Bignum::cmp(c, priv.n) >= 0) return std::nullopt;
+    const util::Bytes block = rsa_private_op(priv, c).to_bytes_be(k);
+
+    if (block.size() < 11 || block[0] != 0x00 || block[1] != 0x02) return std::nullopt;
+    std::size_t sep = 2;
+    while (sep < block.size() && block[sep] != 0x00) ++sep;
+    if (sep == block.size() || sep < 10) return std::nullopt;  // >= 8 pad bytes
+    return util::Bytes(block.begin() + static_cast<std::ptrdiff_t>(sep + 1), block.end());
+}
+
+namespace {
+util::Bytes signature_block(std::size_t k, std::span<const std::uint8_t> msg) {
+    const auto digest = Sha256::hash(msg);
+    // Truncate the digest when the modulus is too small to carry all 32
+    // bytes plus the minimum padding (only hit by small test keys; the
+    // paper's 512-bit keys carry the full digest).
+    const std::size_t digest_len = std::min(Sha256::kDigestSize, k - 11);
+    util::Bytes block(k, 0xFF);
+    block[0] = 0x00;
+    block[1] = 0x01;
+    block[k - digest_len - 1] = 0x00;
+    std::copy(digest.begin(), digest.begin() + static_cast<std::ptrdiff_t>(digest_len),
+              block.begin() + static_cast<std::ptrdiff_t>(k - digest_len));
+    return block;
+}
+}  // namespace
+
+util::Bytes rsa_sign(const RsaPrivateKey& priv, std::span<const std::uint8_t> msg) {
+    const std::size_t k = (priv.n.bit_length() + 7) / 8;
+    const Bignum m = Bignum::from_bytes_be(signature_block(k, msg));
+    return rsa_private_op(priv, m).to_bytes_be(k);
+}
+
+bool rsa_verify(const RsaPublicKey& pub, std::span<const std::uint8_t> msg,
+                std::span<const std::uint8_t> signature) {
+    const std::size_t k = pub.modulus_bytes();
+    if (signature.size() != k) return false;
+    const Bignum s = Bignum::from_bytes_be(signature);
+    if (Bignum::cmp(s, pub.n) >= 0) return false;
+    const util::Bytes recovered = rsa_public_op(pub, s).to_bytes_be(k);
+    const util::Bytes expected = signature_block(k, msg);
+    return util::bytes_equal(recovered, expected);
+}
+
+}  // namespace geoanon::crypto

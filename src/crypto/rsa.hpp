@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "crypto/bignum.hpp"
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+
+namespace geoanon::crypto {
+
+/// RSA public key (n, e). The paper's evaluation uses 512-bit moduli; the
+/// trapdoor in an AGFW header is one RSA block (<= 64 bytes, §5).
+struct RsaPublicKey {
+    Bignum n;
+    Bignum e;
+
+    std::size_t modulus_bits() const { return n.bit_length(); }
+    std::size_t modulus_bytes() const { return (modulus_bits() + 7) / 8; }
+
+    /// Stable serialized form (length-prefixed n and e) for certificates.
+    util::Bytes serialize() const;
+    static std::optional<RsaPublicKey> deserialize(util::ByteReader& reader);
+
+    /// SHA-256-based 64-bit key fingerprint; used as a map key.
+    std::uint64_t fingerprint() const;
+
+    bool operator==(const RsaPublicKey& o) const { return n == o.n && e == o.e; }
+};
+
+/// RSA private key. Keeps p/q only for debugging/tests; all private
+/// operations use d directly (no CRT — speed is irrelevant at 512 bits).
+struct RsaPrivateKey {
+    Bignum n;
+    Bignum e;
+    Bignum d;
+    Bignum p;
+    Bignum q;
+
+    RsaPublicKey public_key() const { return {n, e}; }
+};
+
+struct RsaKeyPair {
+    RsaPublicKey pub;
+    RsaPrivateKey priv;
+};
+
+/// Generate an RSA key pair with a modulus of exactly `modulus_bits` bits
+/// (e = 65537). Deterministic given the RNG state.
+RsaKeyPair rsa_generate(util::Rng& rng, std::size_t modulus_bits);
+
+/// Raw trapdoor permutation x -> x^e mod n. Requires x < n.
+Bignum rsa_public_op(const RsaPublicKey& pub, const Bignum& x);
+/// Raw inverse permutation y -> y^d mod n. Requires y < n.
+Bignum rsa_private_op(const RsaPrivateKey& priv, const Bignum& y);
+
+/// PKCS#1-v1.5-style type-2 encryption: random nonzero padding, one block.
+/// Message must be at most modulus_bytes - 11; returns nullopt if too long.
+std::optional<util::Bytes> rsa_encrypt(const RsaPublicKey& pub, util::Rng& rng,
+                                       std::span<const std::uint8_t> msg);
+
+/// Inverse of rsa_encrypt. Returns nullopt when the padding does not check
+/// out — the trapdoor-opening test AGFW relies on (§3.2).
+std::optional<util::Bytes> rsa_decrypt(const RsaPrivateKey& priv,
+                                       std::span<const std::uint8_t> ciphertext);
+
+/// PKCS#1-v1.5-style type-1 signature over SHA-256 of msg.
+util::Bytes rsa_sign(const RsaPrivateKey& priv, std::span<const std::uint8_t> msg);
+bool rsa_verify(const RsaPublicKey& pub, std::span<const std::uint8_t> msg,
+                std::span<const std::uint8_t> signature);
+
+}  // namespace geoanon::crypto

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "util/bytes.hpp"
+
+namespace geoanon::crypto {
+
+/// FIPS 180-4 SHA-256. This is the repo's only collision-resistant hash; it
+/// backs pseudonym generation (§3.1.1: n = hash(pr, id)), ring-signature key
+/// derivation, certificate signing, and the Feistel round function.
+class Sha256 {
+  public:
+    static constexpr std::size_t kDigestSize = 32;
+    using Digest = std::array<std::uint8_t, kDigestSize>;
+
+    Sha256();
+
+    /// Absorb more input; may be called any number of times before finish().
+    void update(std::span<const std::uint8_t> data);
+    void update(std::string_view s);
+
+    /// Finalize and return the digest. The object must not be reused after.
+    Digest finish();
+
+    /// One-shot convenience.
+    static Digest hash(std::span<const std::uint8_t> data);
+    static Digest hash(std::string_view s);
+
+  private:
+    void process_block(const std::uint8_t* block);
+
+    std::array<std::uint32_t, 8> state_;
+    std::uint64_t total_len_{0};
+    std::array<std::uint8_t, 64> buf_{};
+    std::size_t buf_len_{0};
+};
+
+/// Expandable keyed keystream built from SHA-256 in counter mode:
+/// block_i = SHA256(key || i). Used as a PRG/stream-cipher by the modeled
+/// crypto engine and by the Feistel round function.
+util::Bytes sha256_keystream(std::span<const std::uint8_t> key, std::size_t n_bytes);
+
+/// First 8 bytes of SHA-256 as a big-endian u64 (cheap content fingerprints).
+std::uint64_t sha256_u64(std::span<const std::uint8_t> data);
+
+}  // namespace geoanon::crypto

@@ -1,0 +1,311 @@
+#include "mac/mac80211.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace geoanon::mac {
+
+using phy::Frame;
+
+Mac80211::Mac80211(sim::Simulator& sim, phy::Radio& radio, net::MacAddr addr,
+                   MacParams params, Rng rng)
+    : sim_(sim), radio_(radio), addr_(addr), params_(params), rng_(rng),
+      cw_(params.cw_min) {
+    radio_.set_mac_hooks([this] { on_channel_busy(); }, [this] { on_channel_idle(); },
+                         [this](const Frame& f) { on_frame(f); });
+}
+
+SimTime Mac80211::data_airtime(const net::PacketPtr& pkt) const {
+    return radio_.phy_params().airtime(pkt->wire_bytes + params_.data_header_bytes);
+}
+
+SimTime Mac80211::rts_nav(const net::PacketPtr& pkt) const {
+    const auto& phy = radio_.phy_params();
+    return params_.sifs + phy.airtime(params_.cts_bytes) + params_.sifs +
+           data_airtime(pkt) + params_.sifs + phy.airtime(params_.ack_bytes);
+}
+
+bool Mac80211::enqueue(TxItem item) {
+    if (queue_.size() >= params_.queue_limit) {
+        ++stats_.drop_queue_full;
+        if (tx_done_handler_) tx_done_handler_(item.pkt, item.dst, false);
+        return false;
+    }
+    item.seq = next_seq_++;
+    queue_.push_back(std::move(item));
+    try_begin_access();
+    return true;
+}
+
+bool Mac80211::send_unicast(net::PacketPtr pkt, net::MacAddr dst) {
+    assert(dst != net::kBroadcastAddr);
+    ++stats_.unicast_accepted;
+    return enqueue(TxItem{std::move(pkt), dst, 0});
+}
+
+bool Mac80211::send_broadcast(net::PacketPtr pkt) {
+    ++stats_.broadcast_accepted;
+    return enqueue(TxItem{std::move(pkt), net::kBroadcastAddr, 0});
+}
+
+bool Mac80211::medium_busy() const {
+    return radio_.energy_busy() || sim_.now() < nav_until_;
+}
+
+void Mac80211::update_nav(SimTime until) {
+    if (until > nav_until_) {
+        // NAV extension while counting down acts like physical busy.
+        freeze_backoff();
+        nav_until_ = until;
+    }
+}
+
+void Mac80211::try_begin_access() {
+    if (phase_ != Phase::kIdle) return;
+    if (queue_.empty()) return;
+    if (access_event_ != sim::kInvalidEvent) return;
+    if (medium_busy()) {
+        // Physical busy resolves via on_channel_idle(); NAV-only busy needs
+        // a wake-up of our own.
+        if (!radio_.energy_busy() && nav_wake_event_ == sim::kInvalidEvent) {
+            nav_wake_event_ = sim_.at(nav_until_, [this] {
+                nav_wake_event_ = sim::kInvalidEvent;
+                try_begin_access();
+            });
+        }
+        return;
+    }
+    if (backoff_slots_ < 0)
+        backoff_slots_ = static_cast<int>(rng_.uniform_int(0, cw_));
+    access_difs_end_ = sim_.now() + params_.difs;
+    access_event_ = sim_.after(params_.difs + params_.slot * backoff_slots_,
+                               [this] { on_access_won(); });
+}
+
+void Mac80211::freeze_backoff() {
+    if (access_event_ == sim::kInvalidEvent) return;
+    sim_.cancel(access_event_);
+    access_event_ = sim::kInvalidEvent;
+    if (backoff_slots_ > 0 && sim_.now() > access_difs_end_) {
+        const auto consumed = static_cast<int>((sim_.now() - access_difs_end_).ns() /
+                                               params_.slot.ns());
+        backoff_slots_ = std::max(0, backoff_slots_ - consumed);
+    }
+}
+
+void Mac80211::on_channel_busy() { freeze_backoff(); }
+
+void Mac80211::on_channel_idle() { try_begin_access(); }
+
+void Mac80211::on_access_won() {
+    access_event_ = sim::kInvalidEvent;
+    backoff_slots_ = -1;  // fully consumed; redraw next time
+    transmit_head();
+}
+
+void Mac80211::transmit_head() {
+    assert(!queue_.empty());
+    const TxItem& item = queue_.front();
+    const auto& phy = radio_.phy_params();
+
+    if (item.dst == net::kBroadcastAddr) {
+        Frame f;
+        f.type = Frame::Type::kData;
+        f.src = params_.anonymous_source ? net::kBroadcastAddr : addr_;
+        f.dst = net::kBroadcastAddr;
+        f.seq = item.seq;
+        f.payload = item.pkt;
+        f.wire_bytes = item.pkt->wire_bytes + params_.data_header_bytes;
+        ++stats_.data_sent;
+        start_frame(std::move(f), Phase::kTxData);
+        return;
+    }
+
+    if (params_.use_rtscts) {
+        Frame f;
+        f.type = Frame::Type::kRts;
+        f.src = addr_;
+        f.dst = item.dst;
+        f.nav = rts_nav(item.pkt);
+        f.wire_bytes = params_.rts_bytes;
+        ++stats_.rts_sent;
+        start_frame(std::move(f), Phase::kTxRts);
+    } else {
+        Frame f;
+        f.type = Frame::Type::kData;
+        f.src = addr_;
+        f.dst = item.dst;
+        f.nav = params_.sifs + phy.airtime(params_.ack_bytes);
+        f.seq = item.seq;
+        f.retry = item.retries > 0;
+        f.payload = item.pkt;
+        f.wire_bytes = item.pkt->wire_bytes + params_.data_header_bytes;
+        ++stats_.data_sent;
+        start_frame(std::move(f), Phase::kTxData);
+    }
+}
+
+void Mac80211::start_frame(Frame frame, Phase phase) {
+    phase_ = phase;
+    in_flight_ = frame;
+    const SimTime air = radio_.phy_params().airtime(frame.wire_bytes);
+    radio_.start_tx(frame);
+    sim_.after(air, [this] { on_tx_end(); });
+}
+
+void Mac80211::on_tx_end() {
+    const auto& phy = radio_.phy_params();
+    switch (phase_) {
+        case Phase::kTxRts:
+            phase_ = Phase::kWaitCts;
+            timeout_event_ = sim_.after(
+                params_.sifs + phy.airtime(params_.cts_bytes) + params_.timeout_slack,
+                [this] { on_timeout(); });
+            break;
+        case Phase::kTxData:
+            if (in_flight_.dst == net::kBroadcastAddr) {
+                finish_head(true);
+            } else {
+                phase_ = Phase::kWaitAck;
+                timeout_event_ = sim_.after(
+                    params_.sifs + phy.airtime(params_.ack_bytes) + params_.timeout_slack,
+                    [this] { on_timeout(); });
+            }
+            break;
+        case Phase::kTxCts:
+        case Phase::kTxAck:
+            phase_ = Phase::kIdle;
+            try_begin_access();
+            break;
+        default:
+            break;  // stray completion after state change; ignore
+    }
+}
+
+void Mac80211::on_timeout() {
+    timeout_event_ = sim::kInvalidEvent;
+    assert(phase_ == Phase::kWaitCts || phase_ == Phase::kWaitAck);
+    phase_ = Phase::kIdle;
+    TxItem& item = queue_.front();
+    ++item.retries;
+    ++stats_.retries;
+    if (item.retries > params_.retry_limit) {
+        ++stats_.unicast_drop_retry;
+        finish_head(false);
+        return;
+    }
+    cw_ = std::min(cw_ * 2 + 1, params_.cw_max);
+    backoff_slots_ = -1;  // redraw from the doubled window
+    try_begin_access();
+}
+
+void Mac80211::finish_head(bool success) {
+    TxItem item = std::move(queue_.front());
+    queue_.pop_front();
+    if (success && item.dst != net::kBroadcastAddr) ++stats_.unicast_delivered;
+    cw_ = params_.cw_min;
+    backoff_slots_ = -1;
+    phase_ = Phase::kIdle;
+    if (tx_done_handler_) tx_done_handler_(item.pkt, item.dst, success);
+    try_begin_access();
+}
+
+void Mac80211::respond_after_sifs(Frame frame, Phase phase) {
+    phase_ = phase;  // blocks our own access until the response is out
+    sim_.after(params_.sifs, [this, frame = std::move(frame), phase] {
+        if (phase_ != phase) return;  // state changed under us; abort response
+        if (radio_.transmitting()) {  // should not happen; stay safe
+            phase_ = Phase::kIdle;
+            try_begin_access();
+            return;
+        }
+        if (frame.type == Frame::Type::kCts) ++stats_.cts_sent;
+        if (frame.type == Frame::Type::kAck) ++stats_.ack_sent;
+        start_frame(frame, phase);
+    });
+}
+
+void Mac80211::on_frame(const Frame& f) {
+    const bool for_me = f.dst == addr_;
+    const bool broadcast = f.dst == net::kBroadcastAddr;
+
+    if (!for_me && !broadcast) {
+        // Virtual carrier sensing from overheard frames.
+        if (f.nav > SimTime::zero()) update_nav(sim_.now() + f.nav);
+        return;
+    }
+
+    switch (f.type) {
+        case Frame::Type::kRts: {
+            if (!for_me) break;
+            if (phase_ != Phase::kIdle || sim_.now() < nav_until_) break;
+            Frame cts;
+            cts.type = Frame::Type::kCts;
+            cts.src = addr_;
+            cts.dst = f.src;
+            const SimTime cts_air = radio_.phy_params().airtime(params_.cts_bytes);
+            cts.nav = f.nav > params_.sifs + cts_air ? f.nav - params_.sifs - cts_air
+                                                     : SimTime::zero();
+            cts.wire_bytes = params_.cts_bytes;
+            respond_after_sifs(std::move(cts), Phase::kTxCts);
+            break;
+        }
+        case Frame::Type::kCts: {
+            if (!for_me || phase_ != Phase::kWaitCts) break;
+            sim_.cancel(timeout_event_);
+            timeout_event_ = sim::kInvalidEvent;
+            // SIFS, then the DATA frame of the pending head item.
+            phase_ = Phase::kTxData;  // reserve state through the SIFS gap
+            sim_.after(params_.sifs, [this] {
+                if (phase_ != Phase::kTxData || queue_.empty()) return;
+                const TxItem& item = queue_.front();
+                Frame data;
+                data.type = Frame::Type::kData;
+                data.src = addr_;
+                data.dst = item.dst;
+                data.nav = params_.sifs + radio_.phy_params().airtime(params_.ack_bytes);
+                data.seq = item.seq;
+                data.retry = item.retries > 0;
+                data.payload = item.pkt;
+                data.wire_bytes = item.pkt->wire_bytes + params_.data_header_bytes;
+                ++stats_.data_sent;
+                start_frame(std::move(data), Phase::kTxData);
+            });
+            break;
+        }
+        case Frame::Type::kData: {
+            // Deliver upstream, deduplicating MAC retransmissions.
+            bool duplicate = false;
+            if (!broadcast) {
+                auto it = last_rx_seq_.find(f.src);
+                duplicate = f.retry && it != last_rx_seq_.end() && it->second == f.seq;
+                last_rx_seq_[f.src] = f.seq;
+            }
+            if (duplicate) {
+                ++stats_.rx_duplicates;
+            } else {
+                ++stats_.rx_delivered;
+                if (rx_handler_ && f.payload) rx_handler_(f.payload, f.src);
+            }
+            if (for_me) {
+                if (phase_ != Phase::kIdle) break;  // cannot ACK mid-exchange
+                Frame ack;
+                ack.type = Frame::Type::kAck;
+                ack.src = addr_;
+                ack.dst = f.src;
+                ack.wire_bytes = params_.ack_bytes;
+                respond_after_sifs(std::move(ack), Phase::kTxAck);
+            }
+            break;
+        }
+        case Frame::Type::kAck: {
+            if (!for_me || phase_ != Phase::kWaitAck) break;
+            sim_.cancel(timeout_event_);
+            timeout_event_ = sim::kInvalidEvent;
+            finish_head(true);
+            break;
+        }
+    }
+}
+
+}  // namespace geoanon::mac

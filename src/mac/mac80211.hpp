@@ -1,0 +1,159 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+
+#include "net/packet.hpp"
+#include "net/types.hpp"
+#include "phy/channel.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace geoanon::mac {
+
+using util::Rng;
+using util::SimTime;
+
+/// IEEE 802.11 DCF parameters. Defaults are 802.11 DSSS (the ns-2 CMU
+/// defaults used by the paper): 20 us slot, 10 us SIFS, 50 us DIFS,
+/// CW 31..1023, short retry limit 7.
+struct MacParams {
+    SimTime slot{SimTime::micros(20)};
+    SimTime sifs{SimTime::micros(10)};
+    SimTime difs{SimTime::micros(50)};
+    int cw_min{31};
+    int cw_max{1023};
+    int retry_limit{7};
+    /// Unicast exchanges use RTS/CTS virtual carrier sensing when true —
+    /// the behavior Figure 1(b) attributes GPSR's high-density latency to.
+    bool use_rtscts{true};
+    std::uint32_t rts_bytes{20};
+    std::uint32_t cts_bytes{14};
+    std::uint32_t ack_bytes{14};
+    /// MAC header + FCS added to every DATA frame.
+    std::uint32_t data_header_bytes{28};
+    /// Extra margin on CTS/ACK timeouts (propagation + rx/tx turnaround).
+    SimTime timeout_slack{SimTime::micros(25)};
+    /// Interface queue length (drop-tail beyond this; ns-2 default 50).
+    std::size_t queue_limit{50};
+    /// §3.2: anonymous senders must not expose their MAC address; broadcast
+    /// frames then carry the broadcast address in the source field too.
+    bool anonymous_source{false};
+};
+
+struct MacStats {
+    std::uint64_t unicast_accepted{0};
+    std::uint64_t broadcast_accepted{0};
+    std::uint64_t unicast_delivered{0};    ///< MAC ACK received
+    std::uint64_t unicast_drop_retry{0};   ///< exceeded retry limit
+    std::uint64_t drop_queue_full{0};
+    std::uint64_t rts_sent{0};
+    std::uint64_t cts_sent{0};
+    std::uint64_t data_sent{0};            ///< DATA frames on air (incl. retries)
+    std::uint64_t ack_sent{0};
+    std::uint64_t retries{0};
+    std::uint64_t rx_delivered{0};         ///< DATA passed to the network layer
+    std::uint64_t rx_duplicates{0};
+};
+
+/// Event-driven IEEE 802.11 DCF MAC entity.
+///
+/// Unicast: DIFS + backoff, then RTS/CTS/DATA/ACK (or DATA/ACK when RTS/CTS
+/// is disabled) with exponential backoff and a retry limit, NAV honored from
+/// overheard frames. Broadcast: DIFS + backoff, then DATA — no handshake, no
+/// recovery — exactly the asymmetry §5 of the paper builds on: AGFW's local
+/// broadcasts skip the RTS/CTS latency but inherit hidden-terminal losses.
+class Mac80211 {
+  public:
+    /// Upstream delivery: network packet + transmitter's MAC address (the
+    /// broadcast address in anonymous mode).
+    using RxHandler = std::function<void(const net::PacketPtr&, net::MacAddr src)>;
+    /// Outcome of a send: for unicast, true iff the MAC ACK arrived; for
+    /// broadcast, true when the frame went on the air.
+    using TxDoneHandler =
+        std::function<void(const net::PacketPtr&, net::MacAddr dst, bool success)>;
+
+    Mac80211(sim::Simulator& sim, phy::Radio& radio, net::MacAddr addr, MacParams params,
+             Rng rng);
+
+    void set_rx_handler(RxHandler h) { rx_handler_ = std::move(h); }
+    void set_tx_done_handler(TxDoneHandler h) { tx_done_handler_ = std::move(h); }
+
+    /// Queue a packet; returns false (and counts a drop) when the interface
+    /// queue is full.
+    bool send_unicast(net::PacketPtr pkt, net::MacAddr dst);
+    bool send_broadcast(net::PacketPtr pkt);
+
+    net::MacAddr address() const { return addr_; }
+    const MacStats& stats() const { return stats_; }
+    std::size_t queue_length() const { return queue_.size(); }
+
+  private:
+    enum class Phase {
+        kIdle,      ///< no exchange in progress (may be contending)
+        kTxRts,
+        kWaitCts,
+        kTxData,
+        kWaitAck,
+        kTxCts,     ///< responding with CTS
+        kTxAck,     ///< responding with ACK
+    };
+
+    struct TxItem {
+        net::PacketPtr pkt;
+        net::MacAddr dst;
+        int retries{0};
+        /// MAC sequence number, fixed at enqueue time so retransmissions
+        /// carry the same seq (receiver-side dedup depends on it).
+        std::uint32_t seq{0};
+    };
+
+    bool enqueue(TxItem item);
+    bool medium_busy() const;
+    void try_begin_access();
+    void freeze_backoff();
+    void on_channel_busy();
+    void on_channel_idle();
+    void on_access_won();
+    void transmit_head();
+    void start_frame(phy::Frame frame, Phase phase);
+    void on_tx_end();
+    void on_timeout();
+    void finish_head(bool success);
+    void on_frame(const phy::Frame& f);
+    void respond_after_sifs(phy::Frame frame, Phase phase);
+    void update_nav(SimTime until);
+
+    SimTime rts_nav(const net::PacketPtr& pkt) const;
+    SimTime data_airtime(const net::PacketPtr& pkt) const;
+
+    sim::Simulator& sim_;
+    phy::Radio& radio_;
+    net::MacAddr addr_;
+    MacParams params_;
+    Rng rng_;
+
+    RxHandler rx_handler_;
+    TxDoneHandler tx_done_handler_;
+
+    std::deque<TxItem> queue_;
+    Phase phase_{Phase::kIdle};
+    int cw_;
+    int backoff_slots_{-1};
+    SimTime access_difs_end_{};        ///< when the DIFS of the pending access ends
+    sim::EventId access_event_{sim::kInvalidEvent};
+    sim::EventId timeout_event_{sim::kInvalidEvent};
+    sim::EventId nav_wake_event_{sim::kInvalidEvent};
+    SimTime nav_until_{};
+    std::uint32_t next_seq_{1};
+    phy::Frame in_flight_;             ///< frame currently being transmitted
+    MacStats stats_;
+
+    /// Receiver-side dedup of MAC-level retransmissions: last seq per source.
+    std::unordered_map<net::MacAddr, std::uint32_t> last_rx_seq_;
+};
+
+}  // namespace geoanon::mac

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <optional>
+
+#include "net/packet.hpp"
+
+namespace geoanon::net {
+
+/// Reference wire format for network-layer packets.
+///
+/// The simulator forwards structured Packet objects for speed, carrying an
+/// explicit `wire_bytes` size used for airtime and overhead accounting. This
+/// codec is the ground truth behind those numbers: `encode()` produces the
+/// canonical on-air byte string and `encoded_size()` is asserted (in tests)
+/// to equal the accounting the agents perform. `decode()` round-trips every
+/// routable field and rejects malformed input, so the format is actually
+/// implementable — not just counted.
+///
+/// Format notes:
+///  - locations are two f64 coordinates (16 bytes); timestamps are u64 ns;
+///  - pseudonyms travel as 48-bit values (6 bytes), the size of a MAC
+///    address (§5 of the paper);
+///  - a 1-byte flags field on AGFW data/hello carries the velocity-hint and
+///    perimeter-mode bits;
+///  - trapdoor and ring-signature blobs carry u16 length prefixes; the app
+///    body is the frame remainder.
+namespace codec {
+
+/// Serialize to the canonical on-air representation. Supports every
+/// PacketType the agents transmit; accounting-only fields (flow, seq,
+/// created_at, uid, hops) are carried in a trace trailer ONLY when
+/// `include_trace` is set (used by tests; real deployments would not send
+/// them — uid exists on the air implicitly as the trapdoor bits, §3.2).
+util::Bytes encode(const Packet& pkt, bool include_trace = false);
+
+/// Size of encode(pkt, false) without materializing it.
+std::size_t encoded_size(const Packet& pkt);
+
+/// Parse a canonical byte string. Returns nullopt on any structural error
+/// (truncation, bad type, inconsistent lengths).
+std::optional<Packet> decode(std::span<const std::uint8_t> wire,
+                             bool include_trace = false);
+
+}  // namespace codec
+
+}  // namespace geoanon::net

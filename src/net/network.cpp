@@ -1,0 +1,26 @@
+#include "net/network.hpp"
+
+namespace geoanon::net {
+
+Network::Network(phy::PhyParams phy_params, std::uint64_t seed)
+    : rng_(seed), channel_(sim_, phy_params) {}
+
+Node& Network::add_node(std::unique_ptr<mobility::MobilityModel> mobility,
+                        mac::MacParams mac_params) {
+    const NodeId id = static_cast<NodeId>(nodes_.size());
+    nodes_.push_back(
+        std::make_unique<Node>(sim_, channel_, id, std::move(mobility), mac_params,
+                               rng_.fork()));
+    return *nodes_.back();
+}
+
+util::Vec2 Network::true_position(NodeId id) const {
+    return nodes_.at(id)->mobility().position_at(sim_.now());
+}
+
+void Network::start_agents() {
+    for (auto& n : nodes_)
+        if (n->has_agent()) n->agent().start();
+}
+
+}  // namespace geoanon::net

@@ -1,0 +1,30 @@
+#include "net/node.hpp"
+
+namespace geoanon::net {
+
+namespace {
+/// Unique per-node MAC address derived from the identity (never 0 or the
+/// broadcast address).
+MacAddr mac_addr_for(NodeId id) { return static_cast<MacAddr>(id) + 1; }
+}  // namespace
+
+Node::Node(sim::Simulator& sim, phy::Channel& channel, NodeId id,
+           std::unique_ptr<mobility::MobilityModel> mobility, mac::MacParams mac_params,
+           util::Rng rng)
+    : sim_(sim),
+      id_(id),
+      mobility_(std::move(mobility)),
+      rng_(rng),
+      radio_(sim, channel, [this] { return mobility_->position_at(sim_.now()); }),
+      mac_(sim, radio_, mac_addr_for(id), mac_params, rng_.fork()) {}
+
+void Node::set_agent(std::unique_ptr<RoutingAgent> agent) {
+    agent_ = std::move(agent);
+    mac_.set_rx_handler(
+        [this](const PacketPtr& pkt, MacAddr src) { agent_->on_packet(pkt, src); });
+    mac_.set_tx_done_handler([this](const PacketPtr& pkt, MacAddr dst, bool ok) {
+        agent_->on_mac_tx_done(pkt, dst, ok);
+    });
+}
+
+}  // namespace geoanon::net

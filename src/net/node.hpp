@@ -1,0 +1,74 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "mac/mac80211.hpp"
+#include "mobility/mobility.hpp"
+#include "net/packet.hpp"
+#include "net/types.hpp"
+#include "phy/channel.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace geoanon::net {
+
+class Node;
+
+/// A network-layer routing agent bound to one node. Implementations:
+/// GpsrGreedyAgent (baseline) and AgfwAgent (the paper's scheme).
+class RoutingAgent {
+  public:
+    virtual ~RoutingAgent() = default;
+
+    /// Begin protocol operation (hello beaconing, location updates, ...).
+    virtual void start() = 0;
+
+    /// Application send: deliver `body` to the node with identity `dst`.
+    /// How much of (identity, location) goes on the air depends on the agent.
+    virtual void send_data(NodeId dst, FlowId flow, std::uint32_t seq, Bytes body) = 0;
+
+    /// A frame's payload arrived from the MAC (src is the transmitter's MAC
+    /// address — the broadcast address in anonymous mode).
+    virtual void on_packet(const PacketPtr& pkt, MacAddr src) = 0;
+
+    /// MAC finished a transmission we requested (unicast: ACK outcome).
+    virtual void on_mac_tx_done(const PacketPtr& pkt, MacAddr dst, bool success) = 0;
+
+    virtual std::string name() const = 0;
+};
+
+/// One mobile node: mobility + radio + MAC + routing agent, glued together.
+class Node {
+  public:
+    Node(sim::Simulator& sim, phy::Channel& channel, NodeId id,
+         std::unique_ptr<mobility::MobilityModel> mobility, mac::MacParams mac_params,
+         util::Rng rng);
+
+    NodeId id() const { return id_; }
+    MacAddr mac_addr() const { return mac_.address(); }
+    util::Vec2 position() const { return mobility_->position_at(sim_.now()); }
+    util::Vec2 velocity() const { return mobility_->velocity_at(sim_.now()); }
+
+    sim::Simulator& sim() { return sim_; }
+    mac::Mac80211& mac() { return mac_; }
+    phy::Radio& radio() { return radio_; }
+    util::Rng& rng() { return rng_; }
+    mobility::MobilityModel& mobility() { return *mobility_; }
+
+    /// Install the routing agent and wire MAC callbacks to it.
+    void set_agent(std::unique_ptr<RoutingAgent> agent);
+    RoutingAgent& agent() { return *agent_; }
+    bool has_agent() const { return agent_ != nullptr; }
+
+  private:
+    sim::Simulator& sim_;
+    NodeId id_;
+    std::unique_ptr<mobility::MobilityModel> mobility_;
+    util::Rng rng_;
+    phy::Radio radio_;
+    mac::Mac80211 mac_;
+    std::unique_ptr<RoutingAgent> agent_;
+};
+
+}  // namespace geoanon::net

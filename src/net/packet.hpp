@@ -1,0 +1,112 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "net/types.hpp"
+#include "util/bytes.hpp"
+#include "util/time.hpp"
+#include "util/vec2.hpp"
+
+namespace geoanon::net {
+
+using util::Bytes;
+using util::SimTime;
+using util::Vec2;
+
+/// Network-layer message kinds across all protocols in the repo.
+enum class PacketType : std::uint8_t {
+    // Plain geographic routing (GPSR baseline)
+    kGpsrHello,
+    kGpsrData,
+    // Anonymous geographic routing (the paper's scheme)
+    kAgfwHello,  ///< §3.1 ANT hello: ⟨HELLO, n, loc, ts⟩ (+ optional ring sig)
+    kAgfwData,   ///< §3.2 ⟨DATA, loc_d, n, trapdoor⟩
+    kAgfwAck,    ///< §3.2 network-layer acknowledgment (local broadcast)
+    // Location service (plain DLM and anonymous ALS variants share types)
+    kLocUpdate,   ///< RLU: remote location update towards the home grid
+    kLocRequest,  ///< LREQ
+    kLocReply,    ///< LREP
+    kLocReplicate,  ///< one-hop server-side replication inside the home grid
+};
+
+/// One network-layer packet. Deliberately a kitchen-sink struct: the
+/// simulator keeps fields structured (instead of serializing) for speed and
+/// debuggability, while `wire_bytes` carries the exact on-air size each
+/// protocol accounts for (crypto attachments included).
+///
+/// Immutable after creation; passed by shared_ptr. A forwarder that needs to
+/// change routing fields (next-hop pseudonym, hop count) copies the packet.
+struct Packet {
+    PacketType type{PacketType::kGpsrData};
+
+    // --- accounting / tracing (not on the air) --------------------------
+    FlowId flow{0};
+    std::uint32_t seq{0};           ///< per-flow application sequence number
+    SimTime created_at{};           ///< for end-to-end latency
+    std::uint16_t hops{0};          ///< incremented per network-layer hop
+    /// Unique per end-to-end packet; survives forwarding copies. Used for
+    /// network-layer dedup/implicit-ACK and by the eavesdropper to correlate
+    /// consecutive hops ("same trapdoor" correlation, §3.2).
+    std::uint64_t uid{0};
+
+    // --- geographic routing fields (cleartext on the air, §4) -----------
+    Vec2 dst_loc{};                 ///< destination location loc_d
+
+    // --- plain (identity-bearing) fields: GPSR / plain DLM only ---------
+    NodeId src_id{kInvalidNode};
+    NodeId dst_id{kInvalidNode};
+
+    // --- anonymous fields: AGFW / ANT / ALS ------------------------------
+    std::uint64_t next_hop_pseudonym{0};  ///< n; 0 = "last forwarding attempt"
+    Bytes trapdoor;                        ///< §3.2 destination trapdoor
+
+    // --- hello fields (kGpsrHello carries id, kAgfwHello pseudonym) ------
+    std::uint64_t hello_pseudonym{0};
+    Vec2 hello_loc{};
+    Vec2 hello_velocity{};          ///< optional motion hint (§3.1.1)
+    SimTime hello_ts{};
+    Bytes auth;                     ///< ring signature bytes (authenticated ANT)
+    /// Ring member identities (as certificate references, §4); needed by the
+    /// verifier to reconstruct the ring.
+    std::vector<std::uint64_t> ring_members;
+
+    // --- network-layer ACK fields ----------------------------------------
+    /// uids being acknowledged; §3.2 allows one ACK to cover several
+    /// received packets (aggregation window in AgfwAgent::Params).
+    std::vector<std::uint64_t> ack_uids;
+
+    // --- location service fields ------------------------------------------
+    std::uint32_t grid{0};          ///< ssa(target): home grid index
+    Bytes ls_index;                 ///< ALS: E_{K_B}(A,B) row index
+    Bytes ls_payload;               ///< ALS: E_{K_B}(A, loc_A, ts)
+    NodeId ls_subject{kInvalidNode};  ///< plain DLM: subject identity
+    Vec2 ls_subject_loc{};          ///< plain DLM: subject location
+    Vec2 requester_loc{};           ///< LREQ: where to send the LREP (loc_B)
+    std::uint64_t ls_query_id{0};   ///< matches LREP to LREQ at the requester
+    /// Set on one-hop assist/last-resort copies of LS packets so receivers
+    /// only consume or drop them (never re-route: loop prevention).
+    bool ls_assist{false};
+
+    // --- perimeter recovery (extension; the paper's §6 future work) ------
+    bool perimeter_mode{false};
+    Vec2 perimeter_entry{};       ///< L_p: where greedy forwarding failed
+    Vec2 prev_hop_loc{};          ///< previous hop's position (right-hand rule)
+    std::uint16_t perimeter_hops{0};  ///< safety TTL for the face traversal
+
+    // --- app payload -------------------------------------------------------
+    Bytes body;
+
+    /// Exact on-air network-layer size in bytes (headers + crypto blobs +
+    /// payload), set by the protocol that builds the packet.
+    std::uint32_t wire_bytes{0};
+};
+
+using PacketPtr = std::shared_ptr<const Packet>;
+
+/// Copy-for-modification helper (forwarders stamp a new next hop).
+inline std::shared_ptr<Packet> clone_packet(const Packet& p) {
+    return std::make_shared<Packet>(p);
+}
+
+}  // namespace geoanon::net

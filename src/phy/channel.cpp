@@ -1,0 +1,113 @@
+#include "phy/channel.hpp"
+
+#include <cassert>
+
+namespace geoanon::phy {
+
+Radio::Radio(sim::Simulator& sim, Channel& channel, PositionFn position)
+    : sim_(sim), channel_(channel), position_(std::move(position)) {
+    channel_.register_radio(this);
+}
+
+const PhyParams& Radio::phy_params() const { return channel_.params(); }
+
+void Radio::set_mac_hooks(std::function<void()> on_busy, std::function<void()> on_idle,
+                          std::function<void(const Frame&)> on_rx) {
+    on_busy_ = std::move(on_busy);
+    on_idle_ = std::move(on_idle);
+    on_rx_ = std::move(on_rx);
+}
+
+void Radio::start_tx(const Frame& frame) {
+    assert(!transmitting_ && "half-duplex radio already transmitting");
+    ++stats_.frames_sent;
+    channel_.start_tx(this, frame);
+}
+
+void Radio::begin_own_tx() {
+    transmitting_ = true;
+    // Half-duplex: transmitting corrupts everything we were receiving.
+    for (auto& [id, rx] : receptions_) {
+        if (!rx.corrupted) {
+            rx.corrupted = true;
+            channel_.note_collision();
+            ++stats_.frames_corrupted;
+        }
+    }
+    ++energy_count_;
+    if (energy_count_ == 1 && on_busy_) on_busy_();
+}
+
+void Radio::end_own_tx() {
+    transmitting_ = false;
+    --energy_count_;
+    if (energy_count_ == 0 && on_idle_) on_idle_();
+}
+
+void Radio::energy_start(std::uint64_t tx_id, bool decodable, const Frame& frame) {
+    // New energy corrupts every ongoing reception here.
+    for (auto& [id, rx] : receptions_) {
+        if (!rx.corrupted) {
+            rx.corrupted = true;
+            channel_.note_collision();
+            ++stats_.frames_corrupted;
+        }
+    }
+    const bool clear = energy_count_ == 0 && !transmitting_;
+    ++energy_count_;
+    if (decodable) {
+        Reception rx;
+        rx.frame = frame;
+        rx.corrupted = !clear;
+        if (rx.corrupted) {
+            channel_.note_collision();
+            ++stats_.frames_corrupted;
+        }
+        receptions_.emplace(tx_id, std::move(rx));
+    }
+    if (energy_count_ == 1 && on_busy_) on_busy_();
+}
+
+void Radio::energy_end(std::uint64_t tx_id) {
+    --energy_count_;
+    auto it = receptions_.find(tx_id);
+    if (it != receptions_.end()) {
+        const bool ok = !it->second.corrupted && !transmitting_;
+        Frame frame = std::move(it->second.frame);
+        receptions_.erase(it);
+        if (ok) {
+            ++stats_.frames_delivered;
+            channel_.note_delivery();
+            if (on_rx_) on_rx_(frame);
+        }
+    }
+    if (energy_count_ == 0 && on_idle_) on_idle_();
+}
+
+void Channel::start_tx(Radio* sender, const Frame& frame) {
+    ++stats_.transmissions;
+    const std::uint64_t tx_id = next_tx_id_++;
+    const Vec2 sender_pos = sender->position();
+    if (snoop_) snoop_(frame, sender_pos);
+    const SimTime airtime = params_.airtime(frame.wire_bytes);
+
+    sender->begin_own_tx();
+
+    // Reception membership is decided at transmission start.
+    std::vector<Radio*> affected;
+    for (Radio* r : radios_) {
+        if (r == sender) continue;
+        const double d = util::distance(sender_pos, r->position());
+        if (d <= params_.cs_range_m) {
+            affected.push_back(r);
+            r->energy_start(tx_id, d <= params_.range_m, frame);
+        }
+    }
+
+    sim_.after(airtime, [this, sender, affected = std::move(affected), tx_id] {
+        sender->end_own_tx();
+        for (Radio* r : affected) r->energy_end(tx_id);
+    });
+}
+
+}  // namespace geoanon::phy

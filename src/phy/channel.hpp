@@ -1,0 +1,154 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "net/types.hpp"
+#include "sim/simulator.hpp"
+#include "util/time.hpp"
+#include "util/vec2.hpp"
+
+namespace geoanon::phy {
+
+using util::SimTime;
+using util::Vec2;
+
+/// Radio/channel parameters. Defaults follow the paper's setup (250 m nominal
+/// range) and the ns-2 CMU defaults it inherited (2 Mb/s WaveLAN, 550 m
+/// carrier-sense/interference range, 192 us PLCP preamble+header).
+struct PhyParams {
+    double range_m{250.0};
+    double cs_range_m{550.0};
+    double bitrate_bps{2e6};
+    SimTime plcp_overhead{SimTime::micros(192)};
+
+    /// Time on air for a link-layer frame of `bytes` bytes.
+    SimTime airtime(std::size_t bytes) const {
+        const double tx_s = static_cast<double>(bytes) * 8.0 / bitrate_bps;
+        return plcp_overhead + SimTime::seconds(tx_s);
+    }
+};
+
+/// Link-layer frame envelope as it travels on the air.
+struct Frame {
+    enum class Type : std::uint8_t { kRts, kCts, kData, kAck };
+    Type type{Type::kData};
+    net::MacAddr src{net::kBroadcastAddr};
+    net::MacAddr dst{net::kBroadcastAddr};
+    /// NAV reservation: medium reserved for this long after the frame ends
+    /// (virtual carrier sensing; 0 for broadcast frames).
+    SimTime nav{};
+    std::uint32_t seq{0};
+    bool retry{false};
+    net::PacketPtr payload;        ///< network packet (kData only)
+    std::uint32_t wire_bytes{0};   ///< full MAC frame size on the air
+};
+
+class Channel;
+
+/// One node's radio: half-duplex, unit-disk reception, with carrier sensing.
+/// The MAC drives it via start_tx() and receives busy/idle/rx callbacks.
+class Radio {
+  public:
+    using PositionFn = std::function<Vec2()>;
+
+    struct Stats {
+        std::uint64_t frames_sent{0};
+        std::uint64_t frames_delivered{0};   ///< received intact
+        std::uint64_t frames_corrupted{0};   ///< lost to collision at this radio
+    };
+
+    Radio(sim::Simulator& sim, Channel& channel, PositionFn position);
+    Radio(const Radio&) = delete;
+    Radio& operator=(const Radio&) = delete;
+
+    /// MAC hookup. on_busy fires on the 0->1 energy transition, on_idle on
+    /// the 1->0 transition, on_rx with every intact decodable frame.
+    void set_mac_hooks(std::function<void()> on_busy, std::function<void()> on_idle,
+                       std::function<void(const Frame&)> on_rx);
+
+    /// Begin transmitting; the channel computes reception at all radios in
+    /// range. Must not be called while already transmitting.
+    void start_tx(const Frame& frame);
+
+    bool transmitting() const { return transmitting_; }
+    /// Physical carrier sense: any energy (including own transmission).
+    bool energy_busy() const { return energy_count_ > 0; }
+
+    Vec2 position() const { return position_(); }
+    const Stats& stats() const { return stats_; }
+    /// Channel parameters (airtimes, ranges) for the MAC above.
+    const PhyParams& phy_params() const;
+
+  private:
+    friend class Channel;
+
+    void energy_start(std::uint64_t tx_id, bool decodable, const Frame& frame);
+    void energy_end(std::uint64_t tx_id);
+    void begin_own_tx();
+    void end_own_tx();
+
+    struct Reception {
+        Frame frame;
+        bool corrupted{false};
+    };
+
+    sim::Simulator& sim_;
+    Channel& channel_;
+    PositionFn position_;
+    std::function<void()> on_busy_;
+    std::function<void()> on_idle_;
+    std::function<void(const Frame&)> on_rx_;
+
+    int energy_count_{0};
+    bool transmitting_{false};
+    std::unordered_map<std::uint64_t, Reception> receptions_;
+    Stats stats_;
+};
+
+/// The shared wireless medium. A frame transmitted by radio S is decodable at
+/// every radio within range_m of S (positions sampled at transmission start)
+/// unless any other energy — another transmission within cs_range_m, or the
+/// receiver's own transmission — overlaps its airtime, in which case all
+/// overlapping receptions at that radio are corrupted. Hidden terminals
+/// emerge naturally from this rule.
+class Channel {
+  public:
+    struct Stats {
+        std::uint64_t transmissions{0};
+        std::uint64_t deliveries{0};
+        std::uint64_t collisions{0};  ///< corrupted receptions, all radios
+    };
+
+    Channel(sim::Simulator& sim, PhyParams params) : sim_(sim), params_(params) {}
+
+    const PhyParams& params() const { return params_; }
+    const Stats& stats() const { return stats_; }
+    sim::Simulator& simulator() { return sim_; }
+
+    /// Passive global eavesdropper tap: observes every transmission with the
+    /// transmitter's true position (a sniffer near the sender learns as
+    /// much). Used by the privacy experiments (§4).
+    using SnoopFn = std::function<void(const Frame&, const Vec2& tx_pos)>;
+    void set_snoop(SnoopFn snoop) { snoop_ = std::move(snoop); }
+
+  private:
+    friend class Radio;
+
+    void register_radio(Radio* radio) { radios_.push_back(radio); }
+    void start_tx(Radio* sender, const Frame& frame);
+    void note_delivery() { ++stats_.deliveries; }
+    void note_collision() { ++stats_.collisions; }
+
+    sim::Simulator& sim_;
+    PhyParams params_;
+    std::vector<Radio*> radios_;
+    Stats stats_;
+    std::uint64_t next_tx_id_{1};
+    SnoopFn snoop_;
+};
+
+}  // namespace geoanon::phy

@@ -1,0 +1,212 @@
+#include "routing/gpsr.hpp"
+
+#include "net/codec.hpp"
+
+namespace geoanon::routing {
+
+GpsrGreedyAgent::GpsrGreedyAgent(net::Node& node, Params params, LocateFn locate,
+                                 DeliverFn deliver)
+    : node_(node),
+      params_(params),
+      locate_(std::move(locate)),
+      deliver_(std::move(deliver)) {}
+
+void GpsrGreedyAgent::enable_location_service(GridMap grid,
+                                              LocationService::Params ls_params) {
+    LocationService::Hooks hooks;
+    hooks.route = [this](std::shared_ptr<Packet> pkt) { route_packet(std::move(pkt)); };
+    hooks.local_broadcast = [this](std::shared_ptr<Packet> pkt) {
+        stats_.control_bytes += pkt->wire_bytes;
+        node_.mac().send_broadcast(std::move(pkt));
+    };
+    hooks.my_position = [this] { return node_.position(); };
+    hooks.my_id = node_.id();
+    hooks.sim = &node_.sim();
+    hooks.rng = &node_.rng();
+    hooks.charge = [this](util::SimTime cost, std::function<void()> done) {
+        node_.sim().after(cost, std::move(done));
+    };
+    ls_ = std::make_unique<LocationService>(LocationService::Mode::kPlain, grid,
+                                            ls_params, std::move(hooks));
+}
+
+void GpsrGreedyAgent::start() {
+    const util::SimTime phase = util::SimTime::nanos(
+        node_.rng().uniform_int(0, params_.hello_interval.ns()));
+    hello_timer_.start(node_.sim(), params_.hello_interval, phase,
+                       [this] { send_hello(); });
+    if (ls_) ls_->start();
+}
+
+void GpsrGreedyAgent::send_hello() {
+    purge_neighbors();
+    auto pkt = std::make_shared<Packet>();
+    pkt->type = net::PacketType::kGpsrHello;
+    pkt->src_id = node_.id();
+    pkt->hello_loc = node_.position();
+    pkt->hello_ts = node_.sim().now();
+    pkt->wire_bytes = static_cast<std::uint32_t>(net::codec::encoded_size(*pkt));
+    ++stats_.hello_sent;
+    stats_.control_bytes += pkt->wire_bytes;
+    node_.mac().send_broadcast(std::move(pkt));
+}
+
+void GpsrGreedyAgent::purge_neighbors() {
+    const util::SimTime now = node_.sim().now();
+    for (auto it = neighbors_.begin(); it != neighbors_.end();) {
+        if (now - it->second.ts > params_.neighbor_ttl)
+            it = neighbors_.erase(it);
+        else
+            ++it;
+    }
+}
+
+const GpsrGreedyAgent::Neighbor* GpsrGreedyAgent::best_neighbor(
+    const Vec2& from, const Vec2& dst_loc) const {
+    const double my_dist = util::distance(from, dst_loc);
+    const Neighbor* best = nullptr;
+    double best_dist = my_dist;
+    const util::SimTime now = node_.sim().now();
+    for (const auto& [id, n] : neighbors_) {
+        if (now - n.ts > params_.neighbor_ttl) continue;
+        const double d = util::distance(n.loc, dst_loc);
+        if (d < best_dist) {
+            best_dist = d;
+            best = &n;
+        }
+    }
+    return best;
+}
+
+void GpsrGreedyAgent::send_data(NodeId dst, net::FlowId flow, std::uint32_t seq,
+                                net::Bytes body) {
+    ++stats_.app_sent;
+    auto send_with_loc = [this, dst, flow, seq,
+                          body = std::move(body)](std::optional<Vec2> loc) mutable {
+        if (!loc) {
+            ++stats_.drop_no_location;
+            return;
+        }
+        auto pkt = std::make_shared<Packet>();
+        pkt->type = net::PacketType::kGpsrData;
+        pkt->flow = flow;
+        pkt->seq = seq;
+        pkt->created_at = node_.sim().now();
+        pkt->uid = (static_cast<std::uint64_t>(node_.id()) << 32) | next_uid_++;
+        pkt->src_id = node_.id();
+        pkt->dst_id = dst;
+        pkt->dst_loc = *loc;
+        pkt->body = std::move(body);
+        pkt->wire_bytes = static_cast<std::uint32_t>(net::codec::encoded_size(*pkt));
+        route_packet(std::move(pkt));
+    };
+
+    if (ls_) {
+        if (auto it = loc_cache_.find(dst);
+            it != loc_cache_.end() &&
+            node_.sim().now() - it->second.second <= params_.loc_cache_ttl) {
+            send_with_loc(it->second.first);
+            return;
+        }
+        ls_->resolve(dst, [this, dst, cb = std::move(send_with_loc)](
+                              std::optional<Vec2> loc) mutable {
+            if (loc) loc_cache_[dst] = {*loc, node_.sim().now()};
+            cb(loc);
+        });
+    } else {
+        send_with_loc(locate_(dst));
+    }
+}
+
+void GpsrGreedyAgent::route_packet(std::shared_ptr<Packet> pkt) {
+    PacketPtr p(std::move(pkt));
+    // The originator may itself be the responsible server — or the requester
+    // of a reply it is about to geo-route (it never hears its own frames).
+    switch (p->type) {
+        case net::PacketType::kLocUpdate:
+        case net::PacketType::kLocRequest:
+        case net::PacketType::kLocReply:
+        case net::PacketType::kLocReplicate:
+            if (ls_ && ls_->handle(p)) return;
+            break;
+        default:
+            break;
+    }
+    forward(p);
+}
+
+void GpsrGreedyAgent::deliver_local(const PacketPtr& pkt) {
+    ++stats_.delivered;
+    if (deliver_) deliver_(node_.id(), *pkt);
+}
+
+void GpsrGreedyAgent::forward(const PacketPtr& pkt) {
+    if (pkt->type == net::PacketType::kGpsrData && pkt->dst_id == node_.id()) {
+        deliver_local(pkt);
+        return;
+    }
+
+    const Vec2 me = node_.position();
+    const Neighbor* best = best_neighbor(me, pkt->dst_loc);
+    if (best == nullptr) {
+        // Greedy local maximum: LS packets get a last-resort serve; data is
+        // dropped (no perimeter recovery in this evaluation).
+        if (ls_ && ls_->handle_stuck(pkt)) return;
+        if (pkt->type == net::PacketType::kGpsrData) ++stats_.drop_no_route;
+        return;
+    }
+
+    auto copy = net::clone_packet(*pkt);
+    copy->hops = static_cast<std::uint16_t>(pkt->hops + 1);
+    ++stats_.forwarded;
+    stats_.data_bytes += copy->wire_bytes;
+    node_.mac().send_unicast(std::move(copy), best->mac);
+}
+
+void GpsrGreedyAgent::on_packet(const PacketPtr& pkt, MacAddr src) {
+    switch (pkt->type) {
+        case net::PacketType::kGpsrHello:
+            neighbors_[pkt->src_id] = Neighbor{pkt->hello_loc, src, node_.sim().now()};
+            break;
+        case net::PacketType::kGpsrData:
+            if (pkt->dst_id == node_.id())
+                deliver_local(pkt);
+            else
+                forward(pkt);
+            break;
+        case net::PacketType::kLocUpdate:
+        case net::PacketType::kLocRequest:
+        case net::PacketType::kLocReply:
+        case net::PacketType::kLocReplicate:
+            if (ls_ && ls_->handle(pkt)) return;
+            if (!pkt->ls_assist) forward(pkt);
+            break;
+        default:
+            break;  // AGFW traffic in a mixed network: not ours
+    }
+}
+
+void GpsrGreedyAgent::on_mac_tx_done(const PacketPtr& pkt, MacAddr dst, bool success) {
+    if (dst == net::kBroadcastAddr) return;
+    if (success) {
+        reroute_counts_.erase(pkt->uid);
+        return;
+    }
+    // The MAC exhausted its retries: assume the neighbor is gone (GPSR's
+    // beacon-timeout shortcut) and try the next-best one.
+    for (auto it = neighbors_.begin(); it != neighbors_.end(); ++it) {
+        if (it->second.mac == dst) {
+            neighbors_.erase(it);
+            break;
+        }
+    }
+    const int attempts = ++reroute_counts_[pkt->uid];
+    if (attempts <= params_.reroute_limit) {
+        forward(pkt);
+    } else {
+        reroute_counts_.erase(pkt->uid);
+        if (pkt->type == net::PacketType::kGpsrData) ++stats_.drop_mac;
+    }
+}
+
+}  // namespace geoanon::routing

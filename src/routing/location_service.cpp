@@ -1,0 +1,399 @@
+#include "routing/location_service.hpp"
+
+#include "net/codec.hpp"
+
+#include <cassert>
+
+#include "util/bytes.hpp"
+
+namespace geoanon::routing {
+
+using util::Bytes;
+using util::ByteReader;
+using util::ByteWriter;
+
+LocationService::LocationService(Mode mode, GridMap grid, Params params, Hooks hooks)
+    : mode_(mode), grid_(grid), params_(params), hooks_(std::move(hooks)) {
+    assert(hooks_.sim && hooks_.rng && hooks_.route && hooks_.local_broadcast &&
+           hooks_.my_position);
+    assert((mode_ == Mode::kPlain || hooks_.engine) &&
+           "anonymous modes need a crypto engine");
+}
+
+void LocationService::charge(SimTime cost, std::function<void()> done) {
+    if (params_.charge_crypto_costs && hooks_.charge) {
+        hooks_.charge(cost, std::move(done));
+    } else {
+        done();
+    }
+}
+
+Bytes LocationService::make_index(NodeId updater, NodeId requester) const {
+    return hooks_.engine->als_index(updater, requester);
+}
+
+void LocationService::start() {
+    const SimTime first =
+        params_.first_update_delay +
+        SimTime::nanos(hooks_.rng->uniform_int(0, params_.update_jitter.ns()));
+    update_timer_.start(*hooks_.sim, params_.update_interval, first,
+                        [this] { send_update(); });
+}
+
+void LocationService::send_update() {
+    const NodeId me = hooks_.my_id;
+    const util::Vec2 my_loc = hooks_.my_position();
+    const std::uint32_t home = grid_.home_grid(me);
+
+    auto pkt = std::make_shared<Packet>();
+    pkt->type = net::PacketType::kLocUpdate;
+    pkt->grid = home;
+    pkt->dst_loc = grid_.center_of(home);
+    pkt->created_at = hooks_.sim->now();
+    pkt->uid = hooks_.rng->next_u64();
+
+    if (mode_ == Mode::kPlain) {
+        pkt->ls_subject = me;
+        pkt->ls_subject_loc = my_loc;
+        pkt->wire_bytes = static_cast<std::uint32_t>(net::codec::encoded_size(*pkt));
+        ++stats_.updates_sent;
+        stats_.update_bytes += pkt->wire_bytes;
+        hooks_.route(pkt);
+        return;
+    }
+
+    // Anonymous update: one (index, payload) row per anticipated requester
+    // (§3.3 — the updater must anticipate its potential senders).
+    if (contacts_.empty()) return;
+    ByteWriter rows;
+    rows.u32(static_cast<std::uint32_t>(contacts_.size()));
+    std::size_t crypto_ops = 0;
+    for (NodeId contact : contacts_) {
+        ByteWriter plain;
+        plain.u64(me);
+        plain.f64(my_loc.x);
+        plain.f64(my_loc.y);
+        plain.u64(static_cast<std::uint64_t>(hooks_.sim->now().ns()));
+        const Bytes payload =
+            hooks_.engine->encrypt_for(contact, plain.data(), *hooks_.rng);
+        rows.bytes(make_index(me, contact));
+        rows.bytes(payload);
+        ++crypto_ops;
+    }
+    pkt->ls_payload = rows.take();
+    pkt->wire_bytes = static_cast<std::uint32_t>(net::codec::encoded_size(*pkt));
+    const SimTime cost =
+        hooks_.engine->costs().pk_encrypt * static_cast<std::int64_t>(crypto_ops);
+    charge(cost, [this, pkt] {
+        ++stats_.updates_sent;
+        stats_.update_bytes += pkt->wire_bytes;
+        hooks_.route(pkt);
+    });
+}
+
+void LocationService::resolve(NodeId target,
+                              std::function<void(std::optional<util::Vec2>)> cb) {
+    const std::uint64_t qid =
+        (static_cast<std::uint64_t>(hooks_.my_id) << 32) | next_query_id_++;
+    PendingQuery q;
+    q.target = target;
+    q.cb = std::move(cb);
+    pending_.emplace(qid, std::move(q));
+    send_query(qid);
+}
+
+void LocationService::send_query(std::uint64_t qid) {
+    auto it = pending_.find(qid);
+    if (it == pending_.end()) return;
+    PendingQuery& q = it->second;
+    ++q.attempts;
+
+    auto pkt = std::make_shared<Packet>();
+    pkt->type = net::PacketType::kLocRequest;
+    pkt->grid = grid_.home_grid(q.target);
+    pkt->dst_loc = grid_.center_of(pkt->grid);
+    pkt->created_at = hooks_.sim->now();
+    pkt->requester_loc = hooks_.my_position();
+    pkt->ls_query_id = qid;
+    pkt->uid = hooks_.rng->next_u64();
+
+    const bool plain_format = (mode_ == Mode::kPlain) != q.fallback;  // XOR
+    if (plain_format) {
+        pkt->ls_subject = q.target;
+        // Plain DLM exposes the requester; the heterogeneous fallback of an
+        // anonymous requester names only the (public) target.
+        if (mode_ == Mode::kPlain) pkt->src_id = hooks_.my_id;
+    } else if (mode_ == Mode::kAnonymous || q.fallback) {
+        pkt->ls_index = make_index(q.target, hooks_.my_id);
+    }  // index-free primary: no index, no identity at all
+    pkt->wire_bytes = static_cast<std::uint32_t>(net::codec::encoded_size(*pkt));
+
+    ++stats_.queries_sent;
+    stats_.query_bytes += pkt->wire_bytes;
+    hooks_.route(pkt);
+
+    q.timeout = hooks_.sim->after(params_.query_timeout, [this, qid] {
+        auto it2 = pending_.find(qid);
+        if (it2 == pending_.end()) return;
+        if (it2->second.attempts <= params_.query_retries) {
+            send_query(qid);
+            return;
+        }
+        const bool can_fallback =
+            mode_ != Mode::kPlain || hooks_.engine != nullptr;
+        if (!it2->second.fallback && can_fallback) {
+            // §3.3 heterogeneous: the target may be running the other
+            // service flavor. One more round in the other row format.
+            it2->second.fallback = true;
+            it2->second.attempts = 0;
+            send_query(qid);
+            return;
+        }
+        auto cb = std::move(it2->second.cb);
+        pending_.erase(it2);
+        ++stats_.resolved_fail;
+        cb(std::nullopt);
+    });
+}
+
+bool LocationService::near_home_center(const PacketPtr& pkt) const {
+    const util::Vec2 center = grid_.center_of(pkt->grid);
+    return util::distance(hooks_.my_position(), center) <= params_.server_radius_m;
+}
+
+bool LocationService::handle(const PacketPtr& pkt) {
+    switch (pkt->type) {
+        case net::PacketType::kLocUpdate:
+            if (pkt->ls_assist || near_home_center(pkt)) {
+                store_row(pkt);
+                return true;
+            }
+            return false;
+        case net::PacketType::kLocRequest:
+            if (pkt->ls_assist) {
+                answer_request(pkt);  // answer only if we have the row
+                return true;
+            }
+            if (near_home_center(pkt)) {
+                serve(pkt);
+                return true;
+            }
+            return false;
+        case net::PacketType::kLocReply: {
+            const bool mine =
+                pending_.contains(pkt->ls_query_id) &&
+                (pkt->dst_id == hooks_.my_id || pkt->dst_id == net::kInvalidNode);
+            if (mine) {
+                on_reply(pkt);
+                return true;
+            }
+            // Plain replies addressed to someone else keep routing; assist
+            // copies die here.
+            return pkt->ls_assist;
+        }
+        case net::PacketType::kLocReplicate:
+            store_row(pkt);
+            return true;
+        default:
+            return false;
+    }
+}
+
+bool LocationService::handle_stuck(const PacketPtr& pkt) {
+    switch (pkt->type) {
+        case net::PacketType::kLocUpdate:
+            store_row(pkt);  // best-effort server of last resort
+            return true;
+        case net::PacketType::kLocRequest:
+            serve(pkt);
+            return true;
+        case net::PacketType::kLocReply: {
+            if (pkt->ls_assist) return true;  // already a last-resort copy
+            // Local broadcast: the requester may be in radio range.
+            auto copy = net::clone_packet(*pkt);
+            copy->ls_assist = true;
+            copy->uid = hooks_.rng->next_u64();
+            hooks_.local_broadcast(std::move(copy));
+            return true;
+        }
+        default:
+            return false;
+    }
+}
+
+void LocationService::store_row(const PacketPtr& pkt) {
+    const SimTime expires = hooks_.sim->now() + params_.entry_ttl;
+    bool fresh = false;
+
+    // Dispatch on the ROW's format, not this server's own mode: the paper's
+    // heterogeneous update scheme (§3.3) lets privacy-indifferent nodes use
+    // plain rows while others stay anonymous, and any server stores both.
+    if (pkt->ls_subject != net::kInvalidNode) {
+        auto& row = plain_store_[pkt->ls_subject];
+        const SimTime ts = pkt->created_at;
+        fresh = row.expires == SimTime{} || row.ts < ts;
+        if (fresh) row = PlainRow{pkt->ls_subject_loc, ts, expires};
+    } else {
+        ByteReader r(pkt->ls_payload);
+        auto count = r.u32();
+        if (!count) return;
+        for (std::uint32_t i = 0; i < *count; ++i) {
+            auto index = r.bytes();
+            auto payload = r.bytes();
+            if (!index || !payload) return;
+            const std::string key = util::to_hex(*index);
+            auto it = anon_store_.find(key);
+            if (it == anon_store_.end() || it->second.expires < expires) {
+                anon_store_[key] = AnonRow{std::move(*payload), pkt->grid, expires};
+                fresh = true;
+            }
+        }
+    }
+
+    // Replicate fresh rows once to in-range neighbors (kLocUpdate arrivals
+    // only; replication copies never cascade).
+    if (fresh && params_.replicate && pkt->type == net::PacketType::kLocUpdate &&
+        !pkt->ls_assist) {
+        auto copy = net::clone_packet(*pkt);
+        copy->type = net::PacketType::kLocReplicate;
+        copy->ls_assist = true;
+        copy->uid = hooks_.rng->next_u64();
+        hooks_.local_broadcast(std::move(copy));
+        ++stats_.replications;
+    }
+}
+
+void LocationService::answer_request(const PacketPtr& pkt) {
+    auto reply = std::make_shared<Packet>();
+    reply->type = net::PacketType::kLocReply;
+    reply->grid = pkt->grid;
+    reply->dst_loc = pkt->requester_loc;
+    reply->created_at = hooks_.sim->now();
+    reply->ls_query_id = pkt->ls_query_id;
+    reply->uid = hooks_.rng->next_u64();
+
+    // Serve according to the REQUEST's format (heterogeneous §3.3).
+    if (pkt->ls_subject != net::kInvalidNode) {
+        auto it = plain_store_.find(pkt->ls_subject);
+        if (it == plain_store_.end() || it->second.expires < hooks_.sim->now()) {
+            ++stats_.store_misses;
+            return;
+        }
+        ++stats_.store_hits;
+        reply->dst_id = pkt->src_id;
+        reply->ls_subject = pkt->ls_subject;
+        reply->ls_subject_loc = it->second.loc;
+        reply->wire_bytes = static_cast<std::uint32_t>(net::codec::encoded_size(*reply));
+    } else if (!pkt->ls_index.empty()) {
+        const std::string key = util::to_hex(pkt->ls_index);
+        auto it = anon_store_.find(key);
+        if (it == anon_store_.end() || it->second.expires < hooks_.sim->now()) {
+            ++stats_.store_misses;
+            return;
+        }
+        ++stats_.store_hits;
+        ByteWriter rows;
+        rows.u32(1);
+        rows.bytes(it->second.payload);
+        reply->ls_payload = rows.take();
+        reply->wire_bytes = static_cast<std::uint32_t>(net::codec::encoded_size(*reply));
+    } else {  // index-free: return every live row of this grid
+        ByteWriter rows;
+        std::uint32_t count = 0;
+        ByteWriter body;
+        for (const auto& [key, row] : anon_store_) {
+            if (row.grid != pkt->grid || row.expires < hooks_.sim->now()) continue;
+            body.bytes(row.payload);
+            ++count;
+        }
+        if (count == 0) {
+            ++stats_.store_misses;
+            return;
+        }
+        ++stats_.store_hits;
+        rows.u32(count);
+        rows.raw(body.data());
+        reply->ls_payload = rows.take();
+        reply->wire_bytes = static_cast<std::uint32_t>(net::codec::encoded_size(*reply));
+    }
+
+    ++stats_.replies_sent;
+    stats_.reply_bytes += reply->wire_bytes;
+    hooks_.route(reply);
+}
+
+void LocationService::serve(const PacketPtr& pkt) {
+    // Indexed/plain lookup, with a one-hop neighbor assist on miss: another
+    // nearby in-grid node may hold the row (mobility moves servers around).
+    const bool plain_req = pkt->ls_subject != net::kInvalidNode;
+    const bool indexed_req = !pkt->ls_index.empty();
+    const bool have =
+        (plain_req && plain_store_.contains(pkt->ls_subject)) ||
+        (indexed_req && anon_store_.contains(util::to_hex(pkt->ls_index))) ||
+        (!plain_req && !indexed_req && !anon_store_.empty());
+    if (have) {
+        answer_request(pkt);
+        return;
+    }
+    if (!pkt->ls_assist) {
+        auto copy = net::clone_packet(*pkt);
+        copy->ls_assist = true;
+        copy->uid = hooks_.rng->next_u64();
+        hooks_.local_broadcast(std::move(copy));
+    }
+    ++stats_.store_misses;
+}
+
+void LocationService::on_reply(const PacketPtr& pkt) {
+    auto it = pending_.find(pkt->ls_query_id);
+    if (it == pending_.end()) return;
+
+    // Plain-subject replies (from our own plain mode, or the heterogeneous
+    // fallback) carry the location directly.
+    if (pkt->ls_subject != net::kInvalidNode) {
+        if (pkt->ls_subject != it->second.target) return;  // stray reply
+        auto cb = std::move(it->second.cb);
+        hooks_.sim->cancel(it->second.timeout);
+        pending_.erase(it);
+        ++stats_.resolved_ok;
+        cb(pkt->ls_subject_loc);
+        return;
+    }
+    if (!hooks_.engine) return;  // cannot decrypt anonymous rows
+
+    // Anonymous: trial-decrypt rows; match target identity inside.
+    const NodeId target = it->second.target;
+    ByteReader r(pkt->ls_payload);
+    auto count = r.u32();
+    if (!count) return;
+    std::optional<util::Vec2> found;
+    std::size_t attempts = 0;
+    for (std::uint32_t i = 0; i < *count && !found; ++i) {
+        auto payload = r.bytes();
+        if (!payload) break;
+        ++attempts;
+        auto plain = hooks_.engine->try_decrypt(hooks_.my_id, *payload);
+        if (!plain) continue;
+        ByteReader pr(*plain);
+        auto subject = pr.u64();
+        auto x = pr.f64();
+        auto y = pr.f64();
+        if (subject && x && y && *subject == target) found = util::Vec2{*x, *y};
+    }
+    stats_.decrypt_attempts += attempts;
+
+    const SimTime cost =
+        hooks_.engine->costs().pk_decrypt * static_cast<std::int64_t>(attempts);
+    charge(cost, [this, qid = pkt->ls_query_id, found] {
+        auto it2 = pending_.find(qid);
+        if (it2 == pending_.end()) return;
+        if (!found) return;  // wrong rows; keep waiting for another reply
+        auto cb = std::move(it2->second.cb);
+        hooks_.sim->cancel(it2->second.timeout);
+        pending_.erase(it2);
+        ++stats_.resolved_ok;
+        cb(found);
+    });
+}
+
+}  // namespace geoanon::routing

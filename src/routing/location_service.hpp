@@ -1,0 +1,172 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "crypto/engine.hpp"
+#include "net/packet.hpp"
+#include "net/types.hpp"
+#include "routing/grid.hpp"
+#include "routing/wire.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace geoanon::routing {
+
+using net::NodeId;
+using net::Packet;
+using net::PacketPtr;
+using util::SimTime;
+
+/// Grid-based location service component hosted by a routing agent.
+///
+/// Modes:
+///  - kPlain          — DLM (Xue et al.): updates carry (id, loc) cleartext.
+///  - kAnonymous      — the paper's ALS (§3.3): updates carry the row index
+///                      E_{K_B}(A,B) and payload E_{K_B}(A, loc_A, ts); one
+///                      row per anticipated requester; queries carry the
+///                      index, never the requester identity.
+///  - kAnonymousIndexFree — §3.3 alternative: the query carries no index and
+///                      the server returns every row of the home grid; the
+///                      requester trial-decrypts. Stronger requester
+///                      anonymity, higher byte and CPU cost.
+///
+/// Server role: a node acts as a location server for grid G while it is
+/// inside G and close to G's center (the update/replication machinery keeps
+/// nearby in-grid nodes in sync, so server handover under mobility works).
+class LocationService {
+  public:
+    enum class Mode { kPlain, kAnonymous, kAnonymousIndexFree };
+
+    struct Params {
+        SimTime update_interval{SimTime::seconds(10.0)};
+        SimTime update_jitter{SimTime::seconds(2.0)};
+        /// First update goes out after this delay (neighbor tables warm up).
+        SimTime first_update_delay{SimTime::seconds(3.0)};
+        SimTime entry_ttl{SimTime::seconds(40.0)};
+        SimTime query_timeout{SimTime::seconds(2.0)};
+        int query_retries{1};
+        /// Replicate stored rows to in-range in-grid neighbors on update.
+        bool replicate{true};
+        /// Radius around the grid center within which a node serves.
+        double server_radius_m{200.0};
+        /// Charge modeled crypto CPU costs on ALS operations.
+        bool charge_crypto_costs{true};
+    };
+
+    /// Agent-provided capabilities; keeps this component agent-agnostic.
+    struct Hooks {
+        /// Geo-route `pkt` toward pkt->dst_loc through the host agent.
+        std::function<void(std::shared_ptr<Packet>)> route;
+        /// One-hop local broadcast (replication; anonymous replies).
+        std::function<void(std::shared_ptr<Packet>)> local_broadcast;
+        std::function<util::Vec2()> my_position;
+        NodeId my_id{net::kInvalidNode};
+        sim::Simulator* sim{nullptr};
+        util::Rng* rng{nullptr};
+        /// Required for the anonymous modes.
+        crypto::CryptoEngine* engine{nullptr};
+        /// Charge a modeled CPU delay then run `done` (may run immediately).
+        std::function<void(SimTime, std::function<void()>)> charge;
+    };
+
+    struct Stats {
+        std::uint64_t updates_sent{0};
+        std::uint64_t update_bytes{0};
+        std::uint64_t queries_sent{0};
+        std::uint64_t query_bytes{0};
+        std::uint64_t replies_sent{0};
+        std::uint64_t reply_bytes{0};
+        std::uint64_t replications{0};
+        std::uint64_t store_hits{0};
+        std::uint64_t store_misses{0};
+        std::uint64_t resolved_ok{0};
+        std::uint64_t resolved_fail{0};
+        std::uint64_t decrypt_attempts{0};  ///< index-free trial decryptions
+    };
+
+    LocationService(Mode mode, GridMap grid, Params params, Hooks hooks);
+
+    /// Anticipated requesters (§3.3: the updater must identify its possible
+    /// senders). Ignored in kPlain mode.
+    void set_contacts(std::vector<NodeId> contacts) { contacts_ = std::move(contacts); }
+
+    /// Begin periodic location updates.
+    void start();
+
+    /// Resolve the location of `target`, asynchronously. The callback fires
+    /// exactly once with the location or nullopt (timeout after retries).
+    void resolve(NodeId target, std::function<void(std::optional<util::Vec2>)> cb);
+
+    /// Offer an incoming location-service packet. Returns true when consumed
+    /// (served, stored, or matched to a pending query); false lets the agent
+    /// keep geo-routing it.
+    bool handle(const PacketPtr& pkt);
+
+    /// The agent could not route this LS packet any closer; serve it here if
+    /// at all possible. Returns true when consumed.
+    bool handle_stuck(const PacketPtr& pkt);
+
+    const Stats& stats() const { return stats_; }
+    Mode mode() const { return mode_; }
+    /// Number of rows currently stored at this node (server role).
+    std::size_t store_size() const { return plain_store_.size() + anon_store_.size(); }
+
+  private:
+    struct PlainRow {
+        util::Vec2 loc;
+        SimTime ts;
+        SimTime expires;
+    };
+    struct AnonRow {
+        util::Bytes payload;
+        std::uint32_t grid;
+        SimTime expires;
+    };
+    struct PendingQuery {
+        NodeId target;
+        std::function<void(std::optional<util::Vec2>)> cb;
+        int attempts{0};
+        /// Heterogeneous fallback (§3.3): after the primary-format query
+        /// exhausts its retries, retry once in the other row format — the
+        /// target may run the other service flavor. Anonymous requesters
+        /// fall back to plain-subject queries (still without sending their
+        /// own identity); plain requesters with key material fall back to
+        /// the indexed anonymous query.
+        bool fallback{false};
+        sim::EventId timeout{sim::kInvalidEvent};
+    };
+
+    void send_update();
+    void send_query(std::uint64_t query_id);
+    void serve(const PacketPtr& pkt);
+    void store_row(const PacketPtr& pkt);
+    void answer_request(const PacketPtr& pkt);
+    void on_reply(const PacketPtr& pkt);
+    bool near_home_center(const PacketPtr& pkt) const;
+    void charge(SimTime cost, std::function<void()> done);
+    util::Bytes make_index(NodeId updater, NodeId requester) const;
+
+    Mode mode_;
+    GridMap grid_;
+    Params params_;
+    Hooks hooks_;
+    std::vector<NodeId> contacts_;
+    sim::PeriodicTimer update_timer_;
+
+    // Server-side row stores.
+    std::map<std::string, AnonRow> anon_store_;   ///< key: hex(index)
+    std::unordered_map<NodeId, PlainRow> plain_store_;
+
+    std::unordered_map<std::uint64_t, PendingQuery> pending_;
+    std::uint64_t next_query_id_{1};
+    Stats stats_;
+};
+
+}  // namespace geoanon::routing

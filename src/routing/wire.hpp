@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstdint>
+
+namespace geoanon::routing {
+
+/// Reference network-layer header sizes (bytes), matching the canonical wire
+/// format in net/codec.{hpp,cpp} exactly — tests/test_codec.cpp asserts the
+/// correspondence. Locations are two 8-byte coordinates; identities 4 bytes;
+/// pseudonyms 6 bytes (the size of a MAC address, §5); timestamps 8 bytes;
+/// AGFW/LS packets carry a 1-byte flags field.
+
+// --- GPSR baseline ---------------------------------------------------------
+inline constexpr std::uint32_t kGpsrHelloBytes = 1 + 4 + 16 + 8;        // type,id,loc,ts
+inline constexpr std::uint32_t kGpsrDataHeaderBytes = 1 + 4 + 4 + 16;   // type,src,dst,loc_d
+
+// --- AGFW (§3.2) -------------------------------------------------------------
+// type,flags,n,loc,ts (+8 velocity hint, + ring signature + cert refs)
+inline constexpr std::uint32_t kAgfwHelloBaseBytes = 1 + 1 + 6 + 16 + 8;
+// type,flags,loc_d,n,trapdoor-length (+ trapdoor + body)
+inline constexpr std::uint32_t kAgfwDataHeaderBytes = 1 + 1 + 16 + 6 + 2;
+/// ACK with a single uid: type + u16 count + one uid. Each additional
+/// aggregated uid adds 8 bytes.
+inline constexpr std::uint32_t kAgfwAckBytes = 1 + 2 + 8;
+/// Per-certificate reference when certificates are sent by id (§4).
+inline constexpr std::uint32_t kCertReferenceBytes = 4;
+/// Extra bytes while a packet traverses a face in perimeter mode:
+/// entry point + previous-hop position + perimeter hop count.
+inline constexpr std::uint32_t kPerimeterHeaderBytes = 16 + 16 + 2;
+
+// --- Location service (DLM / ALS, §3.3) --------------------------------------
+// type,flags,n,grid,loc
+inline constexpr std::uint32_t kLocHeaderBytes = 1 + 1 + 6 + 4 + 16;
+inline constexpr std::uint32_t kPlainUpdateBytes = kLocHeaderBytes + 4 + 16 + 8;
+inline constexpr std::uint32_t kPlainRequestBytes = kLocHeaderBytes + 16 + 8 + 4 + 4;
+inline constexpr std::uint32_t kPlainReplyBytes = kLocHeaderBytes + 8 + 4 + 4 + 16;
+
+}  // namespace geoanon::routing

@@ -1,0 +1,71 @@
+#include "sim/simulator.hpp"
+
+#include <utility>
+
+namespace geoanon::sim {
+
+EventId Simulator::at(SimTime t, Callback cb) {
+    const EventId id = next_id_++;
+    if (t < now_) t = now_;
+    heap_.push(Event{t, next_seq_++, id, std::move(cb)});
+    return id;
+}
+
+void Simulator::cancel(EventId id) {
+    if (id != kInvalidEvent) cancelled_.insert(id);
+}
+
+bool Simulator::pop_runnable(Event& out, SimTime end) {
+    while (!heap_.empty()) {
+        if (heap_.top().time > end) return false;
+        // priority_queue::top() is const; move out via const_cast on the
+        // callback only after we have committed to popping this event.
+        out = std::move(const_cast<Event&>(heap_.top()));
+        heap_.pop();
+        if (auto it = cancelled_.find(out.id); it != cancelled_.end()) {
+            cancelled_.erase(it);
+            continue;
+        }
+        return true;
+    }
+    return false;
+}
+
+void Simulator::run_until(SimTime end) {
+    stopped_ = false;
+    Event ev;
+    while (!stopped_ && pop_runnable(ev, end)) {
+        now_ = ev.time;
+        ++processed_;
+        ev.cb();
+    }
+    if (!stopped_ && now_ < end) now_ = end;
+}
+
+void Simulator::run() { run_until(SimTime::max()); }
+
+void PeriodicTimer::start(Simulator& sim, SimTime period, SimTime first_delay,
+                          std::function<void()> tick) {
+    stop();
+    sim_ = &sim;
+    period_ = period;
+    tick_ = std::move(tick);
+    arm(first_delay);
+}
+
+void PeriodicTimer::arm(SimTime delay) {
+    pending_ = sim_->after(delay, [this] {
+        pending_ = kInvalidEvent;
+        // Re-arm before ticking so the callback may stop() the timer.
+        arm(period_);
+        tick_();
+    });
+}
+
+void PeriodicTimer::stop() {
+    if (sim_ != nullptr && pending_ != kInvalidEvent) sim_->cancel(pending_);
+    pending_ = kInvalidEvent;
+    sim_ = nullptr;
+}
+
+}  // namespace geoanon::sim

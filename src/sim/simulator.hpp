@@ -1,0 +1,107 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace geoanon::sim {
+
+using util::SimTime;
+
+/// Handle for a scheduled event; usable with Simulator::cancel().
+/// Value 0 is never issued and acts as "no event".
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEvent = 0;
+
+/// Single-threaded discrete-event simulator.
+///
+/// Events scheduled for the same timestamp run in FIFO order of scheduling,
+/// which (together with the integer SimTime clock and seeded RNGs) makes every
+/// run bit-reproducible. Callbacks may freely schedule and cancel further
+/// events, including at the current time.
+class Simulator {
+  public:
+    using Callback = std::function<void()>;
+
+    /// Current simulation time. Monotonically non-decreasing.
+    SimTime now() const { return now_; }
+
+    /// Schedule `cb` at absolute time `t` (clamped to now if in the past).
+    EventId at(SimTime t, Callback cb);
+
+    /// Schedule `cb` after relative delay `d` from now.
+    EventId after(SimTime d, Callback cb) { return at(now_ + d, std::move(cb)); }
+
+    /// Cancel a pending event. Cancelling an already-fired or invalid id is a
+    /// harmless no-op (common when a timer races its own completion).
+    void cancel(EventId id);
+
+    /// Run until the queue drains or `end` is reached; the clock is advanced
+    /// to `end` even if the queue drains earlier (so periodic measurements
+    /// relative to now() behave intuitively).
+    void run_until(SimTime end);
+
+    /// Run until the queue drains or stop() is called.
+    void run();
+
+    /// Request that the run loop exits after the current callback.
+    void stop() { stopped_ = true; }
+
+    std::uint64_t events_processed() const { return processed_; }
+    std::size_t pending_events() const { return heap_.size() - cancelled_.size(); }
+
+  private:
+    struct Event {
+        SimTime time;
+        std::uint64_t seq;  // tie-break: FIFO among same-time events
+        EventId id;
+        Callback cb;
+    };
+    struct Later {
+        bool operator()(const Event& a, const Event& b) const {
+            if (a.time != b.time) return a.time > b.time;
+            return a.seq > b.seq;
+        }
+    };
+
+    bool pop_runnable(Event& out, SimTime end);
+
+    std::priority_queue<Event, std::vector<Event>, Later> heap_;
+    std::unordered_set<EventId> cancelled_;
+    SimTime now_{SimTime::zero()};
+    std::uint64_t next_seq_{0};
+    EventId next_id_{1};
+    std::uint64_t processed_{0};
+    bool stopped_{false};
+};
+
+/// Repeating timer bound to a Simulator. Calls `tick` every `period`
+/// (optionally with uniform jitter in [0, jitter]) until stopped or destroyed.
+class PeriodicTimer {
+  public:
+    PeriodicTimer() = default;
+    PeriodicTimer(const PeriodicTimer&) = delete;
+    PeriodicTimer& operator=(const PeriodicTimer&) = delete;
+    ~PeriodicTimer() { stop(); }
+
+    /// Start ticking. `first_delay` offsets the initial tick (use a random
+    /// phase to desynchronize beacons across nodes).
+    void start(Simulator& sim, SimTime period, SimTime first_delay,
+               std::function<void()> tick);
+    void stop();
+    bool running() const { return sim_ != nullptr; }
+
+  private:
+    void arm(SimTime delay);
+
+    Simulator* sim_{nullptr};
+    SimTime period_{};
+    std::function<void()> tick_;
+    EventId pending_{kInvalidEvent};
+};
+
+}  // namespace geoanon::sim

@@ -1,0 +1,133 @@
+#include "util/bytes.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace geoanon::util {
+
+void ByteWriter::u16(std::uint16_t v) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+    buf_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void ByteWriter::u32(std::uint32_t v) {
+    for (int shift = 24; shift >= 0; shift -= 8)
+        buf_.push_back(static_cast<std::uint8_t>(v >> shift));
+}
+
+void ByteWriter::u64(std::uint64_t v) {
+    for (int shift = 56; shift >= 0; shift -= 8)
+        buf_.push_back(static_cast<std::uint8_t>(v >> shift));
+}
+
+void ByteWriter::f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+void ByteWriter::raw(std::span<const std::uint8_t> data) {
+    buf_.insert(buf_.end(), data.begin(), data.end());
+}
+
+void ByteWriter::bytes(std::span<const std::uint8_t> data) {
+    u32(static_cast<std::uint32_t>(data.size()));
+    raw(data);
+}
+
+void ByteWriter::str(std::string_view s) {
+    bytes({reinterpret_cast<const std::uint8_t*>(s.data()), s.size()});
+}
+
+std::optional<std::uint8_t> ByteReader::u8() {
+    if (remaining() < 1) return std::nullopt;
+    return data_[pos_++];
+}
+
+std::optional<std::uint16_t> ByteReader::u16() {
+    if (remaining() < 2) return std::nullopt;
+    std::uint16_t v = static_cast<std::uint16_t>(
+        (static_cast<std::uint16_t>(data_[pos_]) << 8) | data_[pos_ + 1]);
+    pos_ += 2;
+    return v;
+}
+
+std::optional<std::uint32_t> ByteReader::u32() {
+    if (remaining() < 4) return std::nullopt;
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v = (v << 8) | data_[pos_ + static_cast<std::size_t>(i)];
+    pos_ += 4;
+    return v;
+}
+
+std::optional<std::uint64_t> ByteReader::u64() {
+    if (remaining() < 8) return std::nullopt;
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v = (v << 8) | data_[pos_ + static_cast<std::size_t>(i)];
+    pos_ += 8;
+    return v;
+}
+
+std::optional<double> ByteReader::f64() {
+    auto v = u64();
+    if (!v) return std::nullopt;
+    return std::bit_cast<double>(*v);
+}
+
+std::optional<Bytes> ByteReader::raw(std::size_t n) {
+    if (remaining() < n) return std::nullopt;
+    Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+              data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return out;
+}
+
+std::optional<Bytes> ByteReader::bytes() {
+    auto len = u32();
+    if (!len) return std::nullopt;
+    return raw(*len);
+}
+
+std::optional<std::string> ByteReader::str() {
+    auto b = bytes();
+    if (!b) return std::nullopt;
+    return std::string(b->begin(), b->end());
+}
+
+std::string to_hex(std::span<const std::uint8_t> data) {
+    static constexpr char digits[] = "0123456789abcdef";
+    std::string out;
+    out.reserve(data.size() * 2);
+    for (std::uint8_t b : data) {
+        out.push_back(digits[b >> 4]);
+        out.push_back(digits[b & 0xF]);
+    }
+    return out;
+}
+
+namespace {
+int hex_digit(char c) {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+}
+}  // namespace
+
+std::optional<Bytes> from_hex(std::string_view hex) {
+    if (hex.size() % 2 != 0) return std::nullopt;
+    Bytes out;
+    out.reserve(hex.size() / 2);
+    for (std::size_t i = 0; i < hex.size(); i += 2) {
+        const int hi = hex_digit(hex[i]);
+        const int lo = hex_digit(hex[i + 1]);
+        if (hi < 0 || lo < 0) return std::nullopt;
+        out.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+    }
+    return out;
+}
+
+bool bytes_equal(std::span<const std::uint8_t> a, std::span<const std::uint8_t> b) {
+    if (a.size() != b.size()) return false;
+    std::uint8_t acc = 0;
+    for (std::size_t i = 0; i < a.size(); ++i) acc |= static_cast<std::uint8_t>(a[i] ^ b[i]);
+    return acc == 0;
+}
+
+}  // namespace geoanon::util

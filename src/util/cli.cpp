@@ -1,0 +1,45 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+
+namespace geoanon::util {
+
+CliArgs::CliArgs(int argc, char** argv) {
+    if (argc > 0) program_ = argv[0];
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--", 0) == 0) {
+            const auto eq = arg.find('=');
+            if (eq == std::string::npos) {
+                values_[arg.substr(2)] = "true";
+            } else {
+                values_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+            }
+        } else {
+            positionals_.push_back(arg);
+        }
+    }
+}
+
+std::string CliArgs::get(const std::string& key, const std::string& dflt) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? dflt : it->second;
+}
+
+double CliArgs::get(const std::string& key, double dflt) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? dflt : std::atof(it->second.c_str());
+}
+
+std::int64_t CliArgs::get(const std::string& key, std::int64_t dflt) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? dflt : std::atoll(it->second.c_str());
+}
+
+bool CliArgs::get(const std::string& key, bool dflt) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) return dflt;
+    return it->second != "false" && it->second != "0" && it->second != "no";
+}
+
+}  // namespace geoanon::util

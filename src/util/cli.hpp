@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace geoanon::util {
+
+/// Minimal `--key=value` / `--flag` command-line parser for the examples and
+/// benches. Unknown arguments are collected as positionals.
+class CliArgs {
+  public:
+    CliArgs(int argc, char** argv);
+
+    bool has(const std::string& key) const { return values_.contains(key); }
+    std::string get(const std::string& key, const std::string& dflt) const;
+    double get(const std::string& key, double dflt) const;
+    std::int64_t get(const std::string& key, std::int64_t dflt) const;
+    bool get(const std::string& key, bool dflt) const;
+
+    const std::vector<std::string>& positionals() const { return positionals_; }
+    const std::string& program() const { return program_; }
+
+  private:
+    std::string program_;
+    std::map<std::string, std::string> values_;
+    std::vector<std::string> positionals_;
+};
+
+}  // namespace geoanon::util

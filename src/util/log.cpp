@@ -1,0 +1,40 @@
+#include "util/log.hpp"
+
+#include <cstdio>
+
+namespace geoanon::util {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+
+const char* tag(LogLevel level) {
+    switch (level) {
+        case LogLevel::kTrace: return "TRACE";
+        case LogLevel::kDebug: return "DEBUG";
+        case LogLevel::kInfo: return "INFO ";
+        case LogLevel::kWarn: return "WARN ";
+        case LogLevel::kError: return "ERROR";
+        case LogLevel::kOff: return "OFF  ";
+    }
+    return "?????";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level; }
+
+void vlog(LogLevel level, const char* fmt, va_list args) {
+    if (level < g_level) return;
+    std::fprintf(stderr, "[%s] ", tag(level));
+    std::vfprintf(stderr, fmt, args);
+    std::fputc('\n', stderr);
+}
+
+void log(LogLevel level, const char* fmt, ...) {
+    va_list args;
+    va_start(args, fmt);
+    vlog(level, fmt, args);
+    va_end(args);
+}
+
+}  // namespace geoanon::util

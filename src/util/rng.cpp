@@ -1,0 +1,58 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace geoanon::util {
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+std::uint64_t Rng::next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+double Rng::uniform01() {
+    // 53 high-quality bits -> [0,1) double, the canonical xoshiro recipe.
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform01(); }
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (span == 0) return static_cast<std::int64_t>(next_u64());  // full 64-bit range
+    // Rejection sampling to kill modulo bias.
+    const std::uint64_t limit = max() - max() % span;
+    std::uint64_t v = next_u64();
+    while (v >= limit) v = next_u64();
+    return lo + static_cast<std::int64_t>(v % span);
+}
+
+double Rng::exponential(double mean) {
+    double u = uniform01();
+    // Guard against log(0).
+    while (u <= 0.0) u = uniform01();
+    return -mean * std::log(u);
+}
+
+bool Rng::bernoulli(double p) { return uniform01() < p; }
+
+Rng Rng::fork() {
+    Rng child;
+    SplitMix64 sm(next_u64());
+    for (auto& s : child.s_) s = sm.next();
+    return child;
+}
+
+}  // namespace geoanon::util

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace geoanon::util {
+
+/// SplitMix64 — used to expand a single user seed into engine state.
+/// Reference: Steele, Lea, Flood, "Fast splittable pseudorandom number
+/// generators" (OOPSLA 2014).
+class SplitMix64 {
+  public:
+    explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+    constexpr std::uint64_t next() {
+        std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+        z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+        z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+        return z ^ (z >> 31);
+    }
+
+  private:
+    std::uint64_t state_;
+};
+
+/// xoshiro256** — the simulator's deterministic random engine.
+/// Satisfies UniformRandomBitGenerator so it can drive <random> distributions,
+/// but we provide allocation-free helpers for the common cases.
+class Rng {
+  public:
+    using result_type = std::uint64_t;
+
+    explicit Rng(std::uint64_t seed = 0x9A0BE53C1FE43D2CULL) { reseed(seed); }
+
+    void reseed(std::uint64_t seed) {
+        SplitMix64 sm(seed);
+        for (auto& s : s_) s = sm.next();
+    }
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return std::numeric_limits<result_type>::max(); }
+
+    result_type operator()() { return next_u64(); }
+
+    std::uint64_t next_u64();
+
+    /// Uniform double in [0, 1).
+    double uniform01();
+
+    /// Uniform double in [lo, hi).
+    double uniform(double lo, double hi);
+
+    /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+    std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+    /// Exponentially distributed value with the given mean (> 0).
+    double exponential(double mean);
+
+    /// True with probability p (clamped to [0,1]).
+    bool bernoulli(double p);
+
+    /// Derive an independent child stream (for per-node RNGs).
+    Rng fork();
+
+  private:
+    std::uint64_t s_[4]{};
+};
+
+}  // namespace geoanon::util

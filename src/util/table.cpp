@@ -1,0 +1,68 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace geoanon::util {
+
+std::string fmt_double(double v, int precision) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+TablePrinter& TablePrinter::row() {
+    rows_.emplace_back();
+    return *this;
+}
+
+TablePrinter& TablePrinter::cell(const std::string& value) {
+    if (rows_.empty()) rows_.emplace_back();
+    rows_.back().push_back(value);
+    return *this;
+}
+
+TablePrinter& TablePrinter::cell(double value, int precision) {
+    return cell(fmt_double(value, precision));
+}
+
+TablePrinter& TablePrinter::cell(long long value) { return cell(std::to_string(value)); }
+
+std::string TablePrinter::to_string() const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+    for (const auto& row : rows_)
+        for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto emit_row = [&](const std::vector<std::string>& cells, std::string& out) {
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            const std::string& v = c < cells.size() ? cells[c] : std::string{};
+            out += "| ";
+            out.append(widths[c] - v.size(), ' ');
+            out += v;
+            out += ' ';
+        }
+        out += "|\n";
+    };
+
+    std::string out;
+    emit_row(headers_, out);
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+        out += "|";
+        out.append(widths[c] + 2, '-');
+    }
+    out += "|\n";
+    for (const auto& row : rows_) emit_row(row, out);
+    return out;
+}
+
+void TablePrinter::print() const {
+    const std::string s = to_string();
+    std::fwrite(s.data(), 1, s.size(), stdout);
+    std::fflush(stdout);
+}
+
+}  // namespace geoanon::util

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace geoanon::util {
+
+/// Right-aligned ASCII table printer used by the benchmark harnesses so every
+/// figure/table reproduction prints in the same, diff-friendly format.
+class TablePrinter {
+  public:
+    explicit TablePrinter(std::vector<std::string> headers);
+
+    /// Begin a new row; subsequent cell() calls fill it left to right.
+    TablePrinter& row();
+    TablePrinter& cell(const std::string& value);
+    TablePrinter& cell(double value, int precision = 3);
+    TablePrinter& cell(long long value);
+    TablePrinter& cell(int value) { return cell(static_cast<long long>(value)); }
+    TablePrinter& cell(std::size_t value) { return cell(static_cast<long long>(value)); }
+
+    /// Render the whole table to a string (headers, separator, rows).
+    std::string to_string() const;
+    /// Render and write to stdout.
+    void print() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with a fixed number of decimals (helper for benches).
+std::string fmt_double(double v, int precision = 3);
+
+}  // namespace geoanon::util

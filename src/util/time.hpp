@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <compare>
+
+namespace geoanon::util {
+
+/// Simulation time as a strong type over signed 64-bit nanoseconds.
+///
+/// All scheduling in the discrete-event kernel uses SimTime, which makes runs
+/// bit-reproducible for a given seed (no floating-point accumulation drift).
+class SimTime {
+  public:
+    constexpr SimTime() = default;
+
+    static constexpr SimTime nanos(std::int64_t ns) { return SimTime{ns}; }
+    static constexpr SimTime micros(std::int64_t us) { return SimTime{us * 1'000}; }
+    static constexpr SimTime millis(std::int64_t ms) { return SimTime{ms * 1'000'000}; }
+    static constexpr SimTime seconds(double s) {
+        return SimTime{static_cast<std::int64_t>(s * 1e9)};
+    }
+    /// Largest representable time; used as an "infinitely far" sentinel.
+    static constexpr SimTime max() { return SimTime{INT64_MAX}; }
+    static constexpr SimTime zero() { return SimTime{0}; }
+
+    constexpr std::int64_t ns() const { return ns_; }
+    constexpr double to_seconds() const { return static_cast<double>(ns_) * 1e-9; }
+    constexpr double to_millis() const { return static_cast<double>(ns_) * 1e-6; }
+
+    constexpr SimTime operator+(SimTime o) const { return SimTime{ns_ + o.ns_}; }
+    constexpr SimTime operator-(SimTime o) const { return SimTime{ns_ - o.ns_}; }
+    constexpr SimTime& operator+=(SimTime o) {
+        ns_ += o.ns_;
+        return *this;
+    }
+    constexpr SimTime operator*(std::int64_t k) const { return SimTime{ns_ * k}; }
+    constexpr auto operator<=>(const SimTime&) const = default;
+
+  private:
+    constexpr explicit SimTime(std::int64_t ns) : ns_(ns) {}
+    std::int64_t ns_{0};
+};
+
+namespace literals {
+constexpr SimTime operator""_s(unsigned long long v) {
+    return SimTime::nanos(static_cast<std::int64_t>(v) * 1'000'000'000);
+}
+constexpr SimTime operator""_ms(unsigned long long v) {
+    return SimTime::millis(static_cast<std::int64_t>(v));
+}
+constexpr SimTime operator""_us(unsigned long long v) {
+    return SimTime::micros(static_cast<std::int64_t>(v));
+}
+constexpr SimTime operator""_ns(unsigned long long v) {
+    return SimTime::nanos(static_cast<std::int64_t>(v));
+}
+}  // namespace literals
+
+}  // namespace geoanon::util

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cmath>
+
+namespace geoanon::util {
+
+/// A 2-D point/vector in metres. Value type; used for node positions,
+/// velocities and grid geometry throughout the simulator.
+struct Vec2 {
+    double x{0.0};
+    double y{0.0};
+
+    constexpr Vec2() = default;
+    constexpr Vec2(double x_, double y_) : x(x_), y(y_) {}
+
+    constexpr Vec2 operator+(const Vec2& o) const { return {x + o.x, y + o.y}; }
+    constexpr Vec2 operator-(const Vec2& o) const { return {x - o.x, y - o.y}; }
+    constexpr Vec2 operator*(double s) const { return {x * s, y * s}; }
+    constexpr Vec2 operator/(double s) const { return {x / s, y / s}; }
+    constexpr Vec2& operator+=(const Vec2& o) {
+        x += o.x;
+        y += o.y;
+        return *this;
+    }
+    constexpr Vec2& operator-=(const Vec2& o) {
+        x -= o.x;
+        y -= o.y;
+        return *this;
+    }
+    constexpr bool operator==(const Vec2& o) const { return x == o.x && y == o.y; }
+
+    /// Squared Euclidean length; avoids the sqrt when only comparisons matter.
+    constexpr double length_sq() const { return x * x + y * y; }
+    double length() const { return std::sqrt(length_sq()); }
+
+    /// Unit vector in the same direction; returns {0,0} for the zero vector.
+    Vec2 normalized() const {
+        const double len = length();
+        return len > 0.0 ? Vec2{x / len, y / len} : Vec2{};
+    }
+};
+
+inline constexpr Vec2 operator*(double s, const Vec2& v) { return v * s; }
+
+/// Euclidean distance between two points.
+inline double distance(const Vec2& a, const Vec2& b) { return (a - b).length(); }
+
+/// Squared distance; prefer for nearest-neighbor comparisons.
+inline constexpr double distance_sq(const Vec2& a, const Vec2& b) {
+    return (a - b).length_sq();
+}
+
+}  // namespace geoanon::util

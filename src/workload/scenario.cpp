@@ -1,0 +1,302 @@
+#include "workload/scenario.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace geoanon::workload {
+
+using util::SimTime;
+
+std::string scheme_name(Scheme s) {
+    switch (s) {
+        case Scheme::kGpsrGreedy: return "gpsr-greedy";
+        case Scheme::kAgfwAck: return "agfw-ack";
+        case Scheme::kAgfwNoAck: return "agfw-noack";
+    }
+    return "?";
+}
+
+ScenarioRunner::ScenarioRunner(ScenarioConfig config) : config_(std::move(config)) {}
+ScenarioRunner::~ScenarioRunner() = default;
+
+core::AgfwAgent* ScenarioRunner::agfw_agent(net::NodeId id) {
+    // Agents are created in node-id order, one per node.
+    return id < agfw_agents_.size() ? agfw_agents_[id] : nullptr;
+}
+
+routing::GpsrGreedyAgent* ScenarioRunner::gpsr_agent(net::NodeId id) {
+    return id < gpsr_agents_.size() ? gpsr_agents_[id] : nullptr;
+}
+
+void ScenarioRunner::setup() {
+    if (built_) return;
+    built_ = true;
+
+    if (config_.use_real_crypto) {
+        engine_ = std::make_unique<crypto::RealCryptoEngine>(config_.seed * 7919 + 17,
+                                                             config_.modulus_bits);
+    } else {
+        engine_ = std::make_unique<crypto::ModeledCryptoEngine>(config_.seed * 7919 + 17,
+                                                                config_.modulus_bits);
+    }
+    network_ = std::make_unique<net::Network>(config_.phy, config_.seed);
+
+    build_nodes();
+    build_traffic();
+
+    if (config_.attach_eavesdropper) {
+        // MAC address = id + 1 (see net/node.cpp) — scoring-only knowledge.
+        eavesdropper_ = std::make_unique<core::Eavesdropper>(
+            network_->channel(), network_->size(), [](net::MacAddr mac) {
+                return static_cast<net::NodeId>(mac - 1);
+            });
+        // §3.3: an attacker holding everyone's certificates can precompute
+        // every E_{K_B}(A,B) index and match observed ALS queries.
+        if (config_.location_service &&
+            *config_.location_service != routing::LocationService::Mode::kPlain) {
+            std::unordered_map<std::string, std::pair<net::NodeId, net::NodeId>> dict;
+            for (std::size_t a = 0; a < config_.num_nodes; ++a) {
+                for (std::size_t b = 0; b < config_.num_nodes; ++b) {
+                    if (a == b) continue;
+                    dict.emplace(util::to_hex(engine_->als_index(a, b)),
+                                 std::make_pair(static_cast<net::NodeId>(a),
+                                                static_cast<net::NodeId>(b)));
+                }
+            }
+            eavesdropper_->set_index_dictionary(std::move(dict));
+        }
+    }
+}
+
+void ScenarioRunner::build_nodes() {
+    const bool agfw = config_.scheme != Scheme::kGpsrGreedy;
+
+    mac::MacParams mac_params;
+    mac_params.use_rtscts = !agfw;  // AGFW never unicasts; GPSR uses RTS/CTS
+    mac_params.anonymous_source = agfw && config_.anonymous_mac;
+
+    // Everyone is a valid certified user; rings draw from the whole network.
+    std::vector<crypto::NodeIdNum> universe;
+    universe.reserve(config_.num_nodes);
+    for (std::size_t i = 0; i < config_.num_nodes; ++i) {
+        engine_->register_node(static_cast<crypto::NodeIdNum>(i));
+        universe.push_back(static_cast<crypto::NodeIdNum>(i));
+    }
+
+    mobility::RandomWaypoint::Params rwp;
+    rwp.min_speed_mps = config_.min_speed_mps;
+    rwp.max_speed_mps = config_.max_speed_mps;
+    rwp.pause = SimTime::seconds(config_.pause_s);
+
+    auto locate = [this](net::NodeId id) -> std::optional<util::Vec2> {
+        return network_->true_position(id);
+    };
+    auto deliver = [this](net::NodeId at, const net::Packet& pkt) {
+        on_delivery(at, pkt);
+    };
+
+    for (std::size_t i = 0; i < config_.num_nodes; ++i) {
+        const util::Vec2 start = config_.area.random_point(network_->rng());
+        auto mob = std::make_unique<mobility::RandomWaypoint>(config_.area, start, rwp,
+                                                              network_->rng().fork());
+        net::Node& node = network_->add_node(std::move(mob), mac_params);
+
+        if (agfw) {
+            core::AgfwAgent::Params ap = config_.agfw;
+            ap.use_net_ack = config_.scheme == Scheme::kAgfwAck;
+            ap.authenticated_hello = config_.authenticated_hello;
+            ap.ring_k = config_.ring_k;
+            ap.charge_crypto_costs = config_.charge_crypto_costs;
+            auto agent = std::make_unique<core::AgfwAgent>(node, ap, *engine_, universe,
+                                                           locate, deliver);
+            agfw_agents_.push_back(agent.get());
+            node.set_agent(std::move(agent));
+        } else {
+            auto agent = std::make_unique<routing::GpsrGreedyAgent>(node, config_.gpsr,
+                                                                    locate, deliver);
+            gpsr_agents_.push_back(agent.get());
+            node.set_agent(std::move(agent));
+        }
+    }
+}
+
+void ScenarioRunner::build_traffic() {
+    util::Rng traffic_rng(config_.seed ^ 0xC0FFEE123456789AULL);
+
+    // Pick the sending nodes, then assign flows round-robin over them with
+    // uniformly random distinct destinations (the paper: 30 CBR flows from
+    // 20 sending nodes).
+    std::vector<net::NodeId> senders;
+    {
+        std::vector<net::NodeId> all(config_.num_nodes);
+        for (std::size_t i = 0; i < all.size(); ++i) all[i] = static_cast<net::NodeId>(i);
+        for (std::size_t i = 0; i < std::min(config_.num_senders, all.size()); ++i) {
+            const auto j = static_cast<std::size_t>(
+                traffic_rng.uniform_int(static_cast<std::int64_t>(i),
+                                        static_cast<std::int64_t>(all.size()) - 1));
+            std::swap(all[i], all[j]);
+            senders.push_back(all[i]);
+        }
+    }
+
+    flows_.clear();
+    for (std::size_t f = 0; f < config_.num_flows; ++f) {
+        Flow flow;
+        flow.id = static_cast<net::FlowId>(f);
+        flow.src = senders[f % senders.size()];
+        do {
+            flow.dst = static_cast<net::NodeId>(
+                traffic_rng.uniform_int(0, static_cast<std::int64_t>(config_.num_nodes) - 1));
+        } while (flow.dst == flow.src);
+        flow.start_s = config_.traffic_start_s + traffic_rng.uniform(0.0, 10.0);
+        flows_.push_back(flow);
+    }
+
+    delivered_.assign(flows_.size(), {});
+    sent_per_flow_.assign(flows_.size(), 0);
+
+    // ALS contacts: a node's anticipated requesters are the flow sources
+    // that will query it (§3.3: the updater must anticipate its senders).
+    if (config_.location_service) {
+        std::vector<std::vector<net::NodeId>> contacts(config_.num_nodes);
+        for (const Flow& f : flows_) contacts[f.dst].push_back(f.src);
+
+        const routing::GridMap grid(config_.area, config_.ls_cell_m);
+        for (std::size_t i = 0; i < config_.num_nodes; ++i) {
+            const auto id = static_cast<net::NodeId>(i);
+            if (auto* a = agfw_agent(id)) {
+                a->enable_location_service(*config_.location_service, grid,
+                                           config_.ls_params, contacts[i]);
+            } else if (auto* g = gpsr_agent(id)) {
+                g->enable_location_service(grid, config_.ls_params);
+            }
+        }
+    }
+
+    // CBR generators: fixed inter-packet gap, self-rescheduling.
+    auto& sim = network_->sim();
+    const double gap_s = 1.0 / config_.cbr_pps;
+    for (std::size_t f = 0; f < flows_.size(); ++f) {
+        // Shared holder so the closure can reschedule itself.
+        auto holder = std::make_shared<std::function<void()>>();
+        *holder = [this, f, gap_s, &sim, holder]() {
+            Flow& flow = flows_[f];
+            if (sim.now().to_seconds() > config_.traffic_stop_s) return;
+            net::Bytes body(config_.cbr_payload_bytes, 0xAB);
+            const std::uint32_t seq = flow.next_seq++;
+            ++sent_per_flow_[f];
+            network_->node(flow.src).agent().send_data(flow.dst, flow.id, seq,
+                                                       std::move(body));
+            sim.after(SimTime::seconds(gap_s), *holder);
+        };
+        sim.at(SimTime::seconds(flows_[f].start_s), *holder);
+    }
+}
+
+void ScenarioRunner::on_delivery(net::NodeId at, const net::Packet& pkt) {
+    if (pkt.flow >= flows_.size()) return;
+    const Flow& flow = flows_[pkt.flow];
+    if (at != flow.dst) return;  // delivered to the wrong node (shouldn't happen)
+    auto& seen = delivered_[pkt.flow];
+    if (pkt.seq >= seen.size()) seen.resize(pkt.seq + 1, false);
+    if (seen[pkt.seq]) return;  // duplicate delivery
+    seen[pkt.seq] = true;
+    ++app_delivered_;
+    latency_ms_.add((network_->sim().now() - pkt.created_at).to_millis());
+    hops_.add(static_cast<double>(pkt.hops));
+}
+
+ScenarioResult ScenarioRunner::run() {
+    setup();
+    network_->start_agents();
+    network_->sim().run_until(SimTime::seconds(config_.sim_seconds));
+    return aggregate();
+}
+
+ScenarioResult ScenarioRunner::aggregate() {
+    ScenarioResult r;
+    for (std::uint32_t s : sent_per_flow_) r.app_sent += s;
+    r.app_delivered = app_delivered_;
+    r.delivery_fraction =
+        r.app_sent > 0 ? static_cast<double>(r.app_delivered) / static_cast<double>(r.app_sent)
+                       : 0.0;
+    r.avg_latency_ms = latency_ms_.mean();
+    r.p50_latency_ms = latency_ms_.percentile(50);
+    r.p95_latency_ms = latency_ms_.percentile(95);
+    r.avg_hops = hops_.mean();
+
+    for (auto& node : network_->nodes()) {
+        const auto& ms = node->mac().stats();
+        r.mac_retries += ms.retries;
+        r.mac_drop_retry += ms.unicast_drop_retry;
+        r.rts_sent += ms.rts_sent;
+        r.data_frames += ms.data_sent;
+        const auto& rs = node->radio().stats();
+        r.mac_collisions += rs.frames_corrupted;
+    }
+    r.transmissions = network_->channel().stats().transmissions;
+
+    for (auto* a : agfw_agents_) {
+        const auto& s = a->stats();
+        r.drop_no_route += s.drop_no_route;
+        r.drop_unreachable += s.drop_unreachable;
+        r.drop_no_location += s.drop_no_location;
+        r.nl_retransmissions += s.retransmissions;
+        r.last_attempts += s.last_attempts;
+        r.trapdoor_attempts += s.trapdoor_attempts;
+        r.trapdoor_opens += s.trapdoor_opens;
+        r.acks_sent += s.acks_sent;
+        r.implicit_acks += s.implicit_acks;
+        r.hello_sent += s.hello_sent;
+        r.cert_fetches += s.cert_fetches;
+        r.control_bytes += s.control_bytes;
+        r.data_bytes += s.data_bytes;
+        r.perimeter_entries += s.perimeter_entries;
+        r.perimeter_recoveries += s.perimeter_recoveries;
+        r.perimeter_forwards += s.perimeter_forwards;
+        if (auto* ls = a->location_service()) {
+            const auto& l = ls->stats();
+            r.ls.updates_sent += l.updates_sent;
+            r.ls.update_bytes += l.update_bytes;
+            r.ls.queries_sent += l.queries_sent;
+            r.ls.query_bytes += l.query_bytes;
+            r.ls.replies_sent += l.replies_sent;
+            r.ls.reply_bytes += l.reply_bytes;
+            r.ls.replications += l.replications;
+            r.ls.store_hits += l.store_hits;
+            r.ls.store_misses += l.store_misses;
+            r.ls.resolved_ok += l.resolved_ok;
+            r.ls.resolved_fail += l.resolved_fail;
+            r.ls.decrypt_attempts += l.decrypt_attempts;
+        }
+    }
+    for (auto* g : gpsr_agents_) {
+        const auto& s = g->stats();
+        r.drop_no_route += s.drop_no_route;
+        r.drop_unreachable += s.drop_mac;
+        r.drop_no_location += s.drop_no_location;
+        r.hello_sent += s.hello_sent;
+        r.control_bytes += s.control_bytes;
+        r.data_bytes += s.data_bytes;
+        if (auto* ls = g->location_service()) {
+            const auto& l = ls->stats();
+            r.ls.updates_sent += l.updates_sent;
+            r.ls.update_bytes += l.update_bytes;
+            r.ls.queries_sent += l.queries_sent;
+            r.ls.query_bytes += l.query_bytes;
+            r.ls.replies_sent += l.replies_sent;
+            r.ls.reply_bytes += l.reply_bytes;
+            r.ls.replications += l.replications;
+            r.ls.store_hits += l.store_hits;
+            r.ls.store_misses += l.store_misses;
+            r.ls.resolved_ok += l.resolved_ok;
+            r.ls.resolved_fail += l.resolved_fail;
+        }
+    }
+
+    if (eavesdropper_) r.adversary = eavesdropper_->report(config_.sim_seconds);
+    r.events_processed = network_->sim().events_processed();
+    return r;
+}
+
+}  // namespace geoanon::workload

@@ -1,0 +1,169 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/adversary.hpp"
+#include "core/agfw.hpp"
+#include "crypto/engine.hpp"
+#include "mobility/mobility.hpp"
+#include "net/network.hpp"
+#include "routing/gpsr.hpp"
+#include "routing/location_service.hpp"
+#include "util/stats.hpp"
+
+namespace geoanon::workload {
+
+/// Routing scheme under test — the three curves of Figure 1.
+enum class Scheme {
+    kGpsrGreedy,  ///< baseline: unicast + RTS/CTS, identity-bearing beacons
+    kAgfwAck,     ///< AGFW with the network-layer acknowledgment
+    kAgfwNoAck,   ///< "simple form of AGFW with no packet acknowledgment"
+};
+
+std::string scheme_name(Scheme s);
+
+/// Full description of one simulation run. Defaults reproduce the paper's
+/// setup (§5.1): 1500x300 m, 900 s, 250 m range, RWP <=20 m/s with 60 s
+/// pause, 30 CBR flows from 20 senders.
+struct ScenarioConfig {
+    Scheme scheme{Scheme::kGpsrGreedy};
+    std::uint64_t seed{1};
+
+    std::size_t num_nodes{50};
+    mobility::Area area{1500.0, 300.0};
+    double min_speed_mps{1.0};
+    double max_speed_mps{20.0};
+    double pause_s{60.0};
+    double sim_seconds{900.0};
+
+    std::size_t num_flows{30};
+    std::size_t num_senders{20};
+    double cbr_pps{4.0};             ///< 64-byte packets at 4/s ~= 2 kb/s CBR
+    std::size_t cbr_payload_bytes{64};
+    double traffic_start_s{10.0};
+    double traffic_stop_s{880.0};
+
+    phy::PhyParams phy{};
+
+    // Crypto / anonymity knobs -------------------------------------------
+    bool use_real_crypto{false};      ///< real RSA math (small runs only)
+    std::size_t modulus_bits{512};
+    bool charge_crypto_costs{true};
+    bool authenticated_hello{false};  ///< ring-signed ANT (§3.1.2)
+    std::size_t ring_k{4};
+    /// §3.2: broadcast frames hide the sender MAC. Turning this off enables
+    /// the correlation attack the paper warns about (privacy ablation).
+    bool anonymous_mac{true};
+
+    // Location service ----------------------------------------------------
+    /// nullopt = perfect location oracle (the paper's Figure-1 setting).
+    std::optional<routing::LocationService::Mode> location_service{};
+    double ls_cell_m{300.0};
+    routing::LocationService::Params ls_params{};
+
+    bool attach_eavesdropper{false};
+
+    core::AgfwAgent::Params agfw{};
+    routing::GpsrGreedyAgent::Params gpsr{};
+};
+
+/// Aggregated outcome of one run.
+struct ScenarioResult {
+    // Application-level (the paper's two metrics, §5)
+    std::uint64_t app_sent{0};
+    std::uint64_t app_delivered{0};   ///< unique (flow, seq) at destination
+    double delivery_fraction{0.0};
+    double avg_latency_ms{0.0};
+    double p50_latency_ms{0.0};
+    double p95_latency_ms{0.0};
+    double avg_hops{0.0};
+
+    // MAC / PHY aggregates
+    std::uint64_t mac_collisions{0};
+    std::uint64_t mac_retries{0};
+    std::uint64_t mac_drop_retry{0};
+    std::uint64_t rts_sent{0};
+    std::uint64_t data_frames{0};
+    std::uint64_t transmissions{0};
+
+    // Agent aggregates
+    std::uint64_t drop_no_route{0};
+    std::uint64_t drop_unreachable{0};
+    std::uint64_t drop_no_location{0};
+    std::uint64_t nl_retransmissions{0};
+    std::uint64_t last_attempts{0};
+    std::uint64_t trapdoor_attempts{0};
+    std::uint64_t trapdoor_opens{0};
+    std::uint64_t acks_sent{0};
+    std::uint64_t implicit_acks{0};
+    std::uint64_t hello_sent{0};
+    std::uint64_t cert_fetches{0};
+    std::uint64_t control_bytes{0};
+    std::uint64_t data_bytes{0};
+    std::uint64_t perimeter_entries{0};
+    std::uint64_t perimeter_recoveries{0};
+    std::uint64_t perimeter_forwards{0};
+
+    // Location service aggregates (when enabled)
+    routing::LocationService::Stats ls{};
+
+    // Adversary (when attached)
+    core::Eavesdropper::Report adversary{};
+
+    std::uint64_t events_processed{0};
+};
+
+/// Builds the network for a ScenarioConfig, drives the CBR workload, runs
+/// the simulation, and aggregates the result.
+class ScenarioRunner {
+  public:
+    explicit ScenarioRunner(ScenarioConfig config);
+    ~ScenarioRunner();
+
+    /// Build everything (idempotent; called by run() if needed). Exposed so
+    /// tests can inspect/poke the network before running.
+    void setup();
+
+    ScenarioResult run();
+
+    net::Network& network() { return *network_; }
+    crypto::CryptoEngine& engine() { return *engine_; }
+    const ScenarioConfig& config() const { return config_; }
+    core::AgfwAgent* agfw_agent(net::NodeId id);
+    routing::GpsrGreedyAgent* gpsr_agent(net::NodeId id);
+
+  private:
+    struct Flow {
+        net::FlowId id;
+        net::NodeId src;
+        net::NodeId dst;
+        double start_s;
+        std::uint32_t next_seq{0};
+    };
+
+    void build_nodes();
+    void build_traffic();
+    void on_delivery(net::NodeId at, const net::Packet& pkt);
+    ScenarioResult aggregate();
+
+    ScenarioConfig config_;
+    std::unique_ptr<crypto::CryptoEngine> engine_;
+    std::unique_ptr<net::Network> network_;
+    std::unique_ptr<core::Eavesdropper> eavesdropper_;
+    std::vector<Flow> flows_;
+    std::vector<core::AgfwAgent*> agfw_agents_;
+    std::vector<routing::GpsrGreedyAgent*> gpsr_agents_;
+
+    // Delivery bookkeeping: unique (flow, seq).
+    std::vector<std::vector<bool>> delivered_;
+    std::vector<std::uint32_t> sent_per_flow_;
+    util::Sampler latency_ms_;
+    util::RunningStat hops_;
+    std::uint64_t app_delivered_{0};
+    bool built_{false};
+};
+
+}  // namespace geoanon::workload

@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include "core/ant.hpp"
+#include "core/pseudonym.hpp"
+#include "crypto/engine.hpp"
+
+namespace {
+
+using namespace geoanon;
+using core::AnonymousNeighborTable;
+using core::PseudonymManager;
+using util::SimTime;
+using util::Vec2;
+
+AnonymousNeighborTable::Entry entry(std::uint64_t n, Vec2 loc, double ts_s,
+                                    double expires_s, Vec2 vel = {}) {
+    AnonymousNeighborTable::Entry e;
+    e.n = n;
+    e.loc = loc;
+    e.velocity = vel;
+    e.ts = SimTime::seconds(ts_s);
+    e.expires = SimTime::seconds(expires_s);
+    return e;
+}
+
+AnonymousNeighborTable::Params no_penalty() {
+    AnonymousNeighborTable::Params p;
+    p.staleness_penalty_mps = 0.0;
+    p.use_velocity = false;
+    return p;
+}
+
+TEST(Ant, InsertAndSize) {
+    AnonymousNeighborTable ant(no_penalty());
+    ant.insert(entry(1, {10, 0}, 0, 10));
+    ant.insert(entry(2, {20, 0}, 0, 10));
+    EXPECT_EQ(ant.size(), 2u);
+}
+
+TEST(Ant, SamePseudonymRefreshesInPlace) {
+    AnonymousNeighborTable ant(no_penalty());
+    ant.insert(entry(1, {10, 0}, 0, 10));
+    ant.insert(entry(1, {30, 0}, 5, 15));
+    EXPECT_EQ(ant.size(), 1u);
+    EXPECT_EQ(ant.entries()[0].loc, (Vec2{30, 0}));
+}
+
+TEST(Ant, StaleUpdateForSamePseudonymIgnored) {
+    AnonymousNeighborTable ant(no_penalty());
+    ant.insert(entry(1, {30, 0}, 5, 15));
+    ant.insert(entry(1, {10, 0}, 2, 12));  // older timestamp
+    EXPECT_EQ(ant.entries()[0].loc, (Vec2{30, 0}));
+}
+
+TEST(Ant, MultipleEntriesForOnePhysicalNeighbor) {
+    // §3.1.1: the same neighbor appears under several pseudonyms and the
+    // receiver cannot (and does not) merge them.
+    AnonymousNeighborTable ant(no_penalty());
+    ant.insert(entry(101, {10, 0}, 0, 10));
+    ant.insert(entry(102, {11, 0}, 1, 11));  // same node, next hello
+    EXPECT_EQ(ant.size(), 2u);
+}
+
+TEST(Ant, PurgeDropsExpired) {
+    AnonymousNeighborTable ant(no_penalty());
+    ant.insert(entry(1, {10, 0}, 0, 5));
+    ant.insert(entry(2, {20, 0}, 0, 15));
+    ant.purge(SimTime::seconds(10));
+    EXPECT_EQ(ant.size(), 1u);
+    EXPECT_EQ(ant.entries()[0].n, 2u);
+}
+
+TEST(Ant, EraseByPseudonym) {
+    AnonymousNeighborTable ant(no_penalty());
+    ant.insert(entry(1, {10, 0}, 0, 10));
+    ant.insert(entry(2, {20, 0}, 0, 10));
+    ant.erase(1);
+    EXPECT_EQ(ant.size(), 1u);
+    EXPECT_EQ(ant.entries()[0].n, 2u);
+}
+
+TEST(Ant, BestNextHopPicksClosestToDestination) {
+    AnonymousNeighborTable ant(no_penalty());
+    ant.insert(entry(1, {100, 0}, 0, 10));
+    ant.insert(entry(2, {200, 0}, 0, 10));
+    const auto best = ant.best_next_hop({0, 0}, {500, 0}, SimTime::seconds(1));
+    ASSERT_TRUE(best.has_value());
+    EXPECT_EQ(best->n, 2u);
+}
+
+TEST(Ant, RequiresPositiveProgress) {
+    AnonymousNeighborTable ant(no_penalty());
+    ant.insert(entry(1, {-100, 0}, 0, 10));  // behind us
+    EXPECT_FALSE(ant.best_next_hop({0, 0}, {500, 0}, SimTime::seconds(1)).has_value());
+}
+
+TEST(Ant, ExcludeListSkipsEntries) {
+    AnonymousNeighborTable ant(no_penalty());
+    ant.insert(entry(1, {100, 0}, 0, 10));
+    ant.insert(entry(2, {200, 0}, 0, 10));
+    const auto best = ant.best_next_hop({0, 0}, {500, 0}, SimTime::seconds(1), {2});
+    ASSERT_TRUE(best.has_value());
+    EXPECT_EQ(best->n, 1u);
+    EXPECT_FALSE(ant.best_next_hop({0, 0}, {500, 0}, SimTime::seconds(1), {1, 2}));
+}
+
+TEST(Ant, ExpiredEntriesNeverChosen) {
+    AnonymousNeighborTable ant(no_penalty());
+    ant.insert(entry(1, {100, 0}, 0, 2));
+    EXPECT_FALSE(ant.best_next_hop({0, 0}, {500, 0}, SimTime::seconds(3)).has_value());
+}
+
+TEST(Ant, FreshnessBeatsRawProgressWhenPenalized) {
+    // §3.1.1: "preferable to choose a fresher position rather than the best
+    // one". Entry 1 looks better but is 4 s stale; with a 20 m/s penalty the
+    // fresh entry 2 wins.
+    AnonymousNeighborTable::Params p;
+    p.staleness_penalty_mps = 20.0;
+    p.use_velocity = false;
+    AnonymousNeighborTable ant(p);
+    ant.insert(entry(1, {250, 0}, 0, 10));  // dist to dest 250, age 4 -> score 330
+    ant.insert(entry(2, {200, 0}, 4, 14));  // dist to dest 300, age 0 -> score 300
+    const auto best = ant.best_next_hop({0, 0}, {500, 0}, SimTime::seconds(4));
+    ASSERT_TRUE(best.has_value());
+    EXPECT_EQ(best->n, 2u);
+}
+
+TEST(Ant, ZeroPenaltyPrefersRawProgress) {
+    AnonymousNeighborTable ant(no_penalty());
+    ant.insert(entry(1, {250, 0}, 0, 10));
+    ant.insert(entry(2, {200, 0}, 4, 14));
+    const auto best = ant.best_next_hop({0, 0}, {500, 0}, SimTime::seconds(4));
+    ASSERT_TRUE(best.has_value());
+    EXPECT_EQ(best->n, 1u);
+}
+
+TEST(Ant, VelocityDeadReckoning) {
+    AnonymousNeighborTable::Params p;
+    p.staleness_penalty_mps = 0.0;
+    p.use_velocity = true;
+    AnonymousNeighborTable ant(p);
+    // Entry moving toward the destination at 20 m/s, reported 5 s ago.
+    ant.insert(entry(1, {100, 0}, 0, 10, {20, 0}));
+    const Vec2 predicted = ant.predicted_position(ant.entries()[0], SimTime::seconds(5));
+    EXPECT_EQ(predicted, (Vec2{200, 0}));
+    // Stationary-looking entry at 150 loses to the dead-reckoned one at 200.
+    ant.insert(entry(2, {150, 0}, 5, 15));
+    const auto best = ant.best_next_hop({0, 0}, {500, 0}, SimTime::seconds(5));
+    ASSERT_TRUE(best.has_value());
+    EXPECT_EQ(best->n, 1u);
+}
+
+TEST(Ant, CapacityEvictsStalest) {
+    AnonymousNeighborTable::Params p = no_penalty();
+    p.max_entries = 3;
+    AnonymousNeighborTable ant(p);
+    ant.insert(entry(1, {1, 0}, 1, 10));
+    ant.insert(entry(2, {2, 0}, 0, 10));  // stalest
+    ant.insert(entry(3, {3, 0}, 2, 10));
+    ant.insert(entry(4, {4, 0}, 3, 10));  // evicts n=2
+    EXPECT_EQ(ant.size(), 3u);
+    for (const auto& e : ant.entries()) EXPECT_NE(e.n, 2u);
+}
+
+// ------------------------------------------------------------- pseudonyms
+
+TEST(PseudonymManager, RotationKeepsTwoLatest) {
+    crypto::ModeledCryptoEngine engine(1, 256);
+    engine.register_node(5);
+    util::Rng rng(2);
+    PseudonymManager pm(engine, 5, rng);
+    const auto first = pm.current();
+    EXPECT_TRUE(pm.is_mine(first));
+
+    const auto second = pm.rotate();
+    EXPECT_TRUE(pm.is_mine(first));   // previous still accepted (§3.1.1)
+    EXPECT_TRUE(pm.is_mine(second));
+
+    const auto third = pm.rotate();
+    EXPECT_FALSE(pm.is_mine(first));  // only two latest are remembered
+    EXPECT_TRUE(pm.is_mine(second));
+    EXPECT_TRUE(pm.is_mine(third));
+}
+
+TEST(PseudonymManager, NeverClaimsLastAttemptMarker) {
+    crypto::ModeledCryptoEngine engine(1, 256);
+    engine.register_node(5);
+    util::Rng rng(3);
+    PseudonymManager pm(engine, 5, rng);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_NE(pm.rotate(), crypto::kLastAttemptPseudonym);
+        EXPECT_FALSE(pm.is_mine(crypto::kLastAttemptPseudonym));
+    }
+}
+
+TEST(PseudonymManager, PseudonymsChangePerRotation) {
+    crypto::ModeledCryptoEngine engine(1, 256);
+    engine.register_node(5);
+    util::Rng rng(4);
+    PseudonymManager pm(engine, 5, rng);
+    const auto a = pm.current();
+    const auto b = pm.rotate();
+    EXPECT_NE(a, b);
+}
+
+}  // namespace

@@ -1,0 +1,268 @@
+#include <gtest/gtest.h>
+
+#include "crypto/bignum.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using geoanon::crypto::Bignum;
+using geoanon::util::Rng;
+
+TEST(Bignum, ZeroProperties) {
+    Bignum z;
+    EXPECT_TRUE(z.is_zero());
+    EXPECT_FALSE(z.is_odd());
+    EXPECT_EQ(z.bit_length(), 0u);
+    EXPECT_EQ(z.to_hex(), "0");
+    EXPECT_EQ(z.low_u64(), 0u);
+}
+
+TEST(Bignum, U64RoundTrip) {
+    const Bignum v{0x0123456789ABCDEFULL};
+    EXPECT_EQ(v.low_u64(), 0x0123456789ABCDEFULL);
+    EXPECT_EQ(v.bit_length(), 57u);
+    EXPECT_EQ(v.to_hex(), "123456789abcdef");
+}
+
+TEST(Bignum, BytesRoundTrip) {
+    const geoanon::util::Bytes be{0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09};
+    const Bignum v = Bignum::from_bytes_be(be);
+    EXPECT_EQ(v.to_bytes_be(9), be);
+    // Leading zeros are preserved by explicit width.
+    const auto wide = v.to_bytes_be(12);
+    EXPECT_EQ(wide.size(), 12u);
+    EXPECT_EQ(wide[0], 0);
+    EXPECT_EQ(wide[3], 0x01);
+}
+
+TEST(Bignum, FromHex) {
+    const auto v = Bignum::from_hex("deadbeef");
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(v->low_u64(), 0xDEADBEEFULL);
+    EXPECT_EQ(Bignum::from_hex("f")->low_u64(), 15u);  // odd length ok
+    EXPECT_FALSE(Bignum::from_hex("xy").has_value());
+}
+
+TEST(Bignum, CompareOrdering) {
+    const Bignum a{5}, b{7}, c{5};
+    EXPECT_LT(Bignum::cmp(a, b), 0);
+    EXPECT_GT(Bignum::cmp(b, a), 0);
+    EXPECT_EQ(Bignum::cmp(a, c), 0);
+    EXPECT_TRUE(a < b);
+    EXPECT_TRUE(a == c);
+    EXPECT_TRUE(b >= a);
+}
+
+TEST(Bignum, AddSubSmall) {
+    const Bignum a{1000000007}, b{998244353};
+    EXPECT_EQ(Bignum::add(a, b).low_u64(), 1998244360u);
+    EXPECT_EQ(Bignum::sub(a, b).low_u64(), 1755654u);
+    EXPECT_TRUE(Bignum::sub(a, a).is_zero());
+}
+
+TEST(Bignum, AddCarriesAcrossLimbs) {
+    const Bignum a{0xFFFFFFFFFFFFFFFFULL};
+    const Bignum sum = Bignum::add(a, Bignum{1});
+    EXPECT_EQ(sum.bit_length(), 65u);
+    EXPECT_EQ(sum.to_hex(), "10000000000000000");
+}
+
+TEST(Bignum, MulSmall) {
+    EXPECT_EQ(Bignum::mul(Bignum{123456789}, Bignum{987654321}).low_u64(),
+              123456789ULL * 987654321ULL);
+    EXPECT_TRUE(Bignum::mul(Bignum{0}, Bignum{12345}).is_zero());
+}
+
+TEST(Bignum, MulKnownBig) {
+    // (2^64-1)^2 = 2^128 - 2^65 + 1
+    const Bignum a{0xFFFFFFFFFFFFFFFFULL};
+    EXPECT_EQ(Bignum::mul(a, a).to_hex(), "fffffffffffffffe0000000000000001");
+}
+
+TEST(Bignum, ShiftLeftRight) {
+    const Bignum one{1};
+    const Bignum big = Bignum::shl(one, 100);
+    EXPECT_EQ(big.bit_length(), 101u);
+    EXPECT_EQ(Bignum::shr(big, 100), one);
+    EXPECT_TRUE(Bignum::shr(one, 1).is_zero());
+    EXPECT_EQ(Bignum::shl(Bignum{0b1011}, 3).low_u64(), 0b1011000u);
+    EXPECT_EQ(Bignum::shr(Bignum{0b1011000}, 3).low_u64(), 0b1011u);
+}
+
+TEST(Bignum, DivmodSmall) {
+    auto [q, r] = Bignum::divmod(Bignum{100}, Bignum{7});
+    EXPECT_EQ(q.low_u64(), 14u);
+    EXPECT_EQ(r.low_u64(), 2u);
+}
+
+TEST(Bignum, DivmodByLargerGivesZero) {
+    auto [q, r] = Bignum::divmod(Bignum{5}, Bignum{7});
+    EXPECT_TRUE(q.is_zero());
+    EXPECT_EQ(r.low_u64(), 5u);
+}
+
+TEST(Bignum, DivmodKnuthAddBackCase) {
+    // Force the rare "add back" branch with crafted operands: the classic
+    // example B^2/2 - 1 over B/2 shapes (B = 2^32).
+    const auto num = Bignum::from_hex("7fffffff800000010000000000000000");
+    const auto den = Bignum::from_hex("800000008000000200000005");
+    ASSERT_TRUE(num && den);
+    auto [q, r] = Bignum::divmod(*num, *den);
+    // Verify via reconstruction: q*den + r == num, r < den.
+    EXPECT_EQ(Bignum::add(Bignum::mul(q, *den), r), *num);
+    EXPECT_LT(Bignum::cmp(r, *den), 0);
+}
+
+TEST(Bignum, MulmodPowmodSmall) {
+    EXPECT_EQ(Bignum::mulmod(Bignum{123}, Bignum{456}, Bignum{789}).low_u64(),
+              123 * 456 % 789);
+    EXPECT_EQ(Bignum::powmod(Bignum{2}, Bignum{10}, Bignum{1000}).low_u64(), 24u);
+    EXPECT_EQ(Bignum::powmod(Bignum{3}, Bignum{0}, Bignum{7}).low_u64(), 1u);
+    EXPECT_TRUE(Bignum::powmod(Bignum{3}, Bignum{5}, Bignum{1}).is_zero());
+}
+
+TEST(Bignum, PowmodFermat) {
+    // a^(p-1) = 1 mod p for prime p = 2^61 - 1.
+    const Bignum p{(1ULL << 61) - 1};
+    const Bignum exp = Bignum::sub(p, Bignum{1});
+    EXPECT_EQ(Bignum::powmod(Bignum{123456789}, exp, p), Bignum{1});
+}
+
+TEST(Bignum, GcdBasics) {
+    EXPECT_EQ(Bignum::gcd(Bignum{48}, Bignum{36}).low_u64(), 12u);
+    EXPECT_EQ(Bignum::gcd(Bignum{17}, Bignum{13}).low_u64(), 1u);
+    EXPECT_EQ(Bignum::gcd(Bignum{0}, Bignum{5}).low_u64(), 5u);
+}
+
+TEST(Bignum, ModinvKnown) {
+    // 3 * 4 = 12 = 1 mod 11.
+    const auto inv = Bignum::modinv(Bignum{3}, Bignum{11});
+    ASSERT_TRUE(inv.has_value());
+    EXPECT_EQ(inv->low_u64(), 4u);
+}
+
+TEST(Bignum, ModinvNotCoprime) {
+    EXPECT_FALSE(Bignum::modinv(Bignum{6}, Bignum{9}).has_value());
+}
+
+TEST(Bignum, ModinvLargeVerified) {
+    Rng rng(99);
+    const Bignum m = Bignum::random_prime(rng, 128);
+    for (int i = 0; i < 5; ++i) {
+        const Bignum a = Bignum::add(Bignum::random_below(rng, Bignum::sub(m, Bignum{1})),
+                                     Bignum{1});
+        const auto inv = Bignum::modinv(a, m);
+        ASSERT_TRUE(inv.has_value());
+        EXPECT_EQ(Bignum::mulmod(a, *inv, m), Bignum{1});
+    }
+}
+
+TEST(Bignum, RandomBelowInRange) {
+    Rng rng(5);
+    const Bignum bound{1000};
+    for (int i = 0; i < 200; ++i) {
+        const Bignum v = Bignum::random_below(rng, bound);
+        EXPECT_LT(Bignum::cmp(v, bound), 0);
+    }
+}
+
+TEST(Bignum, RandomBitsExactWidth) {
+    Rng rng(6);
+    for (std::size_t bits : {8u, 33u, 64u, 100u, 256u}) {
+        const Bignum v = Bignum::random_bits(rng, bits);
+        EXPECT_EQ(v.bit_length(), bits);
+    }
+}
+
+TEST(Bignum, MillerRabinKnownPrimes) {
+    Rng rng(1);
+    for (std::uint64_t p : {2ULL, 3ULL, 5ULL, 97ULL, 65537ULL, 2147483647ULL,
+                            (1ULL << 61) - 1}) {
+        EXPECT_TRUE(Bignum::is_probable_prime(Bignum{p}, rng)) << p;
+    }
+}
+
+TEST(Bignum, MillerRabinKnownComposites) {
+    Rng rng(2);
+    // Includes Carmichael numbers 561, 1105, 1729.
+    for (std::uint64_t c : {1ULL, 4ULL, 100ULL, 561ULL, 1105ULL, 1729ULL,
+                            2147483647ULL * 2, 0xFFFFFFFFFFFFFFFFULL}) {
+        EXPECT_FALSE(Bignum::is_probable_prime(Bignum{c}, rng)) << c;
+    }
+}
+
+TEST(Bignum, RandomPrimeHasRequestedShape) {
+    Rng rng(77);
+    const Bignum p = Bignum::random_prime(rng, 96);
+    EXPECT_EQ(p.bit_length(), 96u);
+    EXPECT_TRUE(p.is_odd());
+    EXPECT_TRUE(p.bit(94));  // second-highest bit forced
+    EXPECT_TRUE(Bignum::is_probable_prime(p, rng));
+}
+
+// ---------------------------------------------------------------------
+// Property sweeps against 64-bit reference arithmetic.
+// ---------------------------------------------------------------------
+
+class BignumProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BignumProperty, ArithmeticMatchesU64Reference) {
+    Rng rng(GetParam());
+    for (int i = 0; i < 300; ++i) {
+        const std::uint64_t a = rng.next_u64() >> (rng.uniform_int(0, 40));
+        const std::uint64_t b = rng.next_u64() >> (rng.uniform_int(0, 40));
+        const Bignum A{a}, B{b};
+
+        EXPECT_EQ(Bignum::cmp(A, B), a < b ? -1 : (a > b ? 1 : 0));
+
+        const unsigned __int128 sum = static_cast<unsigned __int128>(a) + b;
+        const Bignum S = Bignum::add(A, B);
+        EXPECT_EQ(S.low_u64(), static_cast<std::uint64_t>(sum));
+        EXPECT_EQ(S.bit_length() > 64, (sum >> 64) != 0);
+
+        if (a >= b) {
+            EXPECT_EQ(Bignum::sub(A, B).low_u64(), a - b);
+        }
+
+        const unsigned __int128 prod = static_cast<unsigned __int128>(a) * b;
+        const auto P = Bignum::mul(A, B);
+        const auto p_bytes = P.to_bytes_be(16);
+        unsigned __int128 p_val = 0;
+        for (auto byte : p_bytes) p_val = (p_val << 8) | byte;
+        EXPECT_TRUE(p_val == prod);
+
+        if (b != 0) {
+            auto [q, r] = Bignum::divmod(A, B);
+            EXPECT_EQ(q.low_u64(), a / b);
+            EXPECT_EQ(r.low_u64(), a % b);
+        }
+    }
+}
+
+TEST_P(BignumProperty, DivmodReconstructsWideOperands) {
+    Rng rng(GetParam() ^ 0xABCDEF);
+    for (int i = 0; i < 40; ++i) {
+        const auto nbits = static_cast<std::size_t>(rng.uniform_int(65, 512));
+        const auto dbits = static_cast<std::size_t>(rng.uniform_int(33, static_cast<std::int64_t>(nbits)));
+        const Bignum num = Bignum::random_bits(rng, nbits);
+        const Bignum den = Bignum::random_bits(rng, dbits);
+        auto [q, r] = Bignum::divmod(num, den);
+        EXPECT_EQ(Bignum::add(Bignum::mul(q, den), r), num);
+        EXPECT_LT(Bignum::cmp(r, den), 0);
+    }
+}
+
+TEST_P(BignumProperty, PowmodMatchesIteratedMulmod) {
+    Rng rng(GetParam() ^ 0x5555);
+    const Bignum m = Bignum::random_bits(rng, 128);
+    const Bignum base = Bignum::random_below(rng, m);
+    const std::uint64_t e = static_cast<std::uint64_t>(rng.uniform_int(0, 50));
+    Bignum expect{1};
+    for (std::uint64_t i = 0; i < e; ++i) expect = Bignum::mulmod(expect, base, m);
+    EXPECT_EQ(Bignum::powmod(base, Bignum{e}, m), expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BignumProperty,
+                         ::testing::Values(1u, 2u, 3u, 42u, 20260706u));
+
+}  // namespace

@@ -1,0 +1,343 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/agfw.hpp"
+#include "crypto/engine.hpp"
+#include "mobility/mobility.hpp"
+#include "net/network.hpp"
+#include "routing/gpsr.hpp"
+#include "routing/location_service.hpp"
+
+namespace {
+
+using namespace geoanon;
+using namespace geoanon::util::literals;
+using core::AgfwAgent;
+using net::NodeId;
+using net::Packet;
+using routing::GpsrGreedyAgent;
+using routing::GridMap;
+using routing::LocationService;
+using util::SimTime;
+using util::Vec2;
+
+// ---------------------------------------------------------------- GridMap
+
+TEST(GridMap, PartitionGeometry) {
+    const GridMap grid(mobility::Area{1500, 300}, 300.0);
+    EXPECT_EQ(grid.grid_count(), 5u);
+    EXPECT_EQ(grid.grid_of({0, 0}), 0u);
+    EXPECT_EQ(grid.grid_of({1499, 299}), 4u);
+    EXPECT_EQ(grid.grid_of({450, 100}), 1u);
+    EXPECT_EQ(grid.center_of(0), (Vec2{150, 150}));
+    EXPECT_EQ(grid.center_of(4), (Vec2{1350, 150}));
+    EXPECT_TRUE(grid.contains(1, {450, 100}));
+    EXPECT_FALSE(grid.contains(0, {450, 100}));
+}
+
+TEST(GridMap, OutOfAreaPointsClamp) {
+    const GridMap grid(mobility::Area{1500, 300}, 300.0);
+    EXPECT_EQ(grid.grid_of({-50, -50}), 0u);
+    EXPECT_EQ(grid.grid_of({99999, 99999}), 4u);
+}
+
+TEST(GridMap, HomeGridDeterministicAndSpread) {
+    const GridMap grid(mobility::Area{1500, 300}, 300.0);
+    std::vector<int> counts(grid.grid_count(), 0);
+    for (std::uint64_t id = 0; id < 500; ++id) {
+        EXPECT_EQ(grid.home_grid(id), grid.home_grid(id));
+        EXPECT_LT(grid.home_grid(id), grid.grid_count());
+        ++counts[grid.home_grid(id)];
+    }
+    for (int c : counts) EXPECT_GT(c, 50);  // roughly uniform over 5 grids
+}
+
+TEST(GridMap, TwoDimensionalGrids) {
+    const GridMap grid(mobility::Area{600, 600}, 300.0);
+    EXPECT_EQ(grid.grid_count(), 4u);
+    EXPECT_EQ(grid.grid_of({100, 100}), 0u);
+    EXPECT_EQ(grid.grid_of({400, 100}), 1u);
+    EXPECT_EQ(grid.grid_of({100, 400}), 2u);
+    EXPECT_EQ(grid.grid_of({400, 400}), 3u);
+}
+
+// ----------------------------------------------------- end-to-end fixtures
+
+/// Dense static AGFW network covering the whole 1500x300 strip so every grid
+/// has nodes near its center.
+struct AlsNet {
+    explicit AlsNet(LocationService::Mode mode, AgfwAgent::Params params = {})
+        : network(phy::PhyParams{}, 23) {
+        engine = std::make_unique<crypto::ModeledCryptoEngine>(5, 512);
+        // Grid of nodes: x = 75..1425 step 150, y in {75, 225}.
+        std::vector<Vec2> positions;
+        for (int xi = 0; xi < 10; ++xi)
+            for (int yi = 0; yi < 2; ++yi)
+                positions.push_back(Vec2{75.0 + xi * 150.0, 75.0 + yi * 150.0});
+
+        std::vector<crypto::NodeIdNum> universe;
+        for (std::size_t i = 0; i < positions.size(); ++i) {
+            engine->register_node(i);
+            universe.push_back(i);
+        }
+        mac::MacParams mp;
+        mp.use_rtscts = false;
+        mp.anonymous_source = true;
+
+        const GridMap grid(mobility::Area{1500, 300}, 300.0);
+        for (const Vec2& pos : positions) {
+            net::Node& node = network.add_node(
+                std::make_unique<mobility::StationaryMobility>(pos), mp);
+            auto agent = std::make_unique<AgfwAgent>(
+                node, params, *engine, universe,
+                [](NodeId) -> std::optional<Vec2> { return std::nullopt; },
+                [this](NodeId at, const Packet& pkt) {
+                    deliveries.emplace_back(at, pkt);
+                });
+            // Everyone anticipates everyone (tests query arbitrary pairs).
+            std::vector<NodeId> contacts;
+            for (std::size_t c = 0; c < positions.size(); ++c)
+                if (c != node.id()) contacts.push_back(static_cast<NodeId>(c));
+            agent->enable_location_service(mode, grid, ls_params, contacts);
+            agents.push_back(agent.get());
+            node.set_agent(std::move(agent));
+        }
+        network.start_agents();
+    }
+
+    void run_until(double seconds) { network.sim().run_until(SimTime::seconds(seconds)); }
+
+    LocationService::Params ls_params{};
+    net::Network network;
+    std::unique_ptr<crypto::CryptoEngine> engine;
+    std::vector<AgfwAgent*> agents;
+    std::vector<std::pair<NodeId, Packet>> deliveries;
+};
+
+TEST(Als, AnonymousResolveSucceeds) {
+    AlsNet net(LocationService::Mode::kAnonymous);
+    net.run_until(20.0);  // updates out
+
+    std::optional<Vec2> resolved;
+    bool called = false;
+    net.agents[0]->location_service()->resolve(15, [&](std::optional<Vec2> loc) {
+        called = true;
+        resolved = loc;
+    });
+    net.run_until(30.0);
+    ASSERT_TRUE(called);
+    ASSERT_TRUE(resolved.has_value());
+    EXPECT_NEAR(resolved->x, net.network.true_position(15).x, 1.0);
+    EXPECT_NEAR(resolved->y, net.network.true_position(15).y, 1.0);
+}
+
+TEST(Als, ResolveDrivesEndToEndData) {
+    AlsNet net(LocationService::Mode::kAnonymous);
+    net.run_until(20.0);
+    net.agents[0]->send_data(15, 0, 0, {1, 2});
+    net.run_until(35.0);
+    ASSERT_EQ(net.deliveries.size(), 1u);
+    EXPECT_EQ(net.deliveries[0].first, 15u);
+}
+
+TEST(Als, IndexFreeVariantResolves) {
+    AlsNet net(LocationService::Mode::kAnonymousIndexFree);
+    net.run_until(20.0);
+    std::optional<Vec2> resolved;
+    net.agents[2]->location_service()->resolve(17, [&](auto loc) { resolved = loc; });
+    net.run_until(30.0);
+    ASSERT_TRUE(resolved.has_value());
+    // The index-free requester had to trial-decrypt server rows.
+    EXPECT_GE(net.agents[2]->location_service()->stats().decrypt_attempts, 1u);
+}
+
+TEST(Als, UnknownTargetFailsCleanly) {
+    AlsNet net(LocationService::Mode::kAnonymous);
+    net.run_until(20.0);
+    // Node 5 never anticipated node 0 querying it? It did (contacts = all);
+    // instead query an identity that does not exist in the network.
+    bool called = false;
+    std::optional<Vec2> resolved;
+    net.agents[0]->location_service()->resolve(9999, [&](auto loc) {
+        called = true;
+        resolved = loc;
+    });
+    net.run_until(40.0);
+    EXPECT_TRUE(called);
+    EXPECT_FALSE(resolved.has_value());
+}
+
+TEST(Als, UpdatesAreStoredEncrypted) {
+    AlsNet net(LocationService::Mode::kAnonymous);
+    net.run_until(20.0);
+    std::size_t total_rows = 0;
+    for (auto* a : net.agents) total_rows += a->location_service()->store_size();
+    EXPECT_GT(total_rows, 0u);
+    // No plaintext identity travels in ALS messages: checked by the snoop in
+    // test_adversary; here check byte accounting exists.
+    std::uint64_t update_bytes = 0;
+    for (auto* a : net.agents) update_bytes += a->location_service()->stats().update_bytes;
+    EXPECT_GT(update_bytes, 0u);
+}
+
+TEST(Als, AnonymousCostsMoreBytesThanPlainDlm) {
+    // §3.3/§5: ALS trades bytes for anonymity. Compare per-update sizes.
+    AlsNet anon(LocationService::Mode::kAnonymous);
+    anon.run_until(25.0);
+    std::uint64_t anon_updates = 0, anon_bytes = 0;
+    for (auto* a : anon.agents) {
+        anon_updates += a->location_service()->stats().updates_sent;
+        anon_bytes += a->location_service()->stats().update_bytes;
+    }
+    ASSERT_GT(anon_updates, 0u);
+
+    // Plain DLM on a GPSR network of the same shape.
+    net::Network network(phy::PhyParams{}, 23);
+    std::vector<GpsrGreedyAgent*> agents;
+    const GridMap grid(mobility::Area{1500, 300}, 300.0);
+    for (int xi = 0; xi < 10; ++xi) {
+        for (int yi = 0; yi < 2; ++yi) {
+            net::Node& node = network.add_node(
+                std::make_unique<mobility::StationaryMobility>(
+                    Vec2{75.0 + xi * 150.0, 75.0 + yi * 150.0}),
+                mac::MacParams{});
+            auto agent = std::make_unique<GpsrGreedyAgent>(
+                node, GpsrGreedyAgent::Params{},
+                [](NodeId) -> std::optional<Vec2> { return std::nullopt; },
+                nullptr);
+            agent->enable_location_service(grid, LocationService::Params{});
+            agents.push_back(agent.get());
+            node.set_agent(std::move(agent));
+        }
+    }
+    network.start_agents();
+    network.sim().run_until(SimTime::seconds(25));
+    std::uint64_t plain_updates = 0, plain_bytes = 0;
+    for (auto* a : agents) {
+        plain_updates += a->location_service()->stats().updates_sent;
+        plain_bytes += a->location_service()->stats().update_bytes;
+    }
+    ASSERT_GT(plain_updates, 0u);
+
+    const double anon_per = static_cast<double>(anon_bytes) / anon_updates;
+    const double plain_per = static_cast<double>(plain_bytes) / plain_updates;
+    EXPECT_GT(anon_per, plain_per);
+}
+
+TEST(Dlm, PlainResolveSucceedsOnGpsr) {
+    net::Network network(phy::PhyParams{}, 29);
+    std::vector<GpsrGreedyAgent*> agents;
+    const GridMap grid(mobility::Area{1500, 300}, 300.0);
+    for (int xi = 0; xi < 10; ++xi) {
+        for (int yi = 0; yi < 2; ++yi) {
+            net::Node& node = network.add_node(
+                std::make_unique<mobility::StationaryMobility>(
+                    Vec2{75.0 + xi * 150.0, 75.0 + yi * 150.0}),
+                mac::MacParams{});
+            auto agent = std::make_unique<GpsrGreedyAgent>(
+                node, GpsrGreedyAgent::Params{},
+                [](NodeId) -> std::optional<Vec2> { return std::nullopt; },
+                nullptr);
+            agent->enable_location_service(grid, LocationService::Params{});
+            agents.push_back(agent.get());
+            node.set_agent(std::move(agent));
+        }
+    }
+    network.start_agents();
+    network.sim().run_until(SimTime::seconds(20));
+
+    std::optional<Vec2> resolved;
+    agents[0]->location_service()->resolve(13, [&](auto loc) { resolved = loc; });
+    network.sim().run_until(SimTime::seconds(30));
+    ASSERT_TRUE(resolved.has_value());
+    EXPECT_NEAR(resolved->x, network.true_position(13).x, 1.0);
+}
+
+TEST(Als, HeterogeneousPlainAndAnonymousCoexist) {
+    // §3.3: "a node may not need to hide its identity or location all the
+    // time ... it can switch to a normal location service". Build an AGFW
+    // network where even-numbered nodes run plain DLM updates (privacy off)
+    // and odd-numbered nodes run anonymous ALS; servers store both row
+    // formats and both resolve.
+    net::Network network(phy::PhyParams{}, 67);
+    crypto::ModeledCryptoEngine engine(5, 512);
+    std::vector<Vec2> positions;
+    for (int xi = 0; xi < 10; ++xi)
+        for (int yi = 0; yi < 2; ++yi)
+            positions.push_back(Vec2{75.0 + xi * 150.0, 75.0 + yi * 150.0});
+    std::vector<crypto::NodeIdNum> universe;
+    for (std::size_t i = 0; i < positions.size(); ++i) {
+        engine.register_node(i);
+        universe.push_back(i);
+    }
+    mac::MacParams mp;
+    mp.use_rtscts = false;
+    mp.anonymous_source = true;
+    const GridMap grid(mobility::Area{1500, 300}, 300.0);
+    std::vector<AgfwAgent*> agents;
+    for (const Vec2& pos : positions) {
+        net::Node& node = network.add_node(
+            std::make_unique<mobility::StationaryMobility>(pos), mp);
+        auto agent = std::make_unique<AgfwAgent>(
+            node, AgfwAgent::Params{}, engine, universe,
+            [](NodeId) -> std::optional<Vec2> { return std::nullopt; }, nullptr);
+        std::vector<NodeId> contacts;
+        for (std::size_t c = 0; c < positions.size(); ++c)
+            if (c != node.id()) contacts.push_back(static_cast<NodeId>(c));
+        const bool privacy = node.id() % 2 == 1;
+        agent->enable_location_service(privacy
+                                           ? LocationService::Mode::kAnonymous
+                                           : LocationService::Mode::kPlain,
+                                       grid, LocationService::Params{}, contacts);
+        agents.push_back(agent.get());
+        node.set_agent(std::move(agent));
+    }
+    network.start_agents();
+    network.sim().run_until(SimTime::seconds(20));
+
+    // An anonymous node resolves a plain node and vice versa.
+    std::optional<Vec2> plain_target, anon_target;
+    agents[1]->location_service()->resolve(14, [&](auto loc) { plain_target = loc; });
+    agents[2]->location_service()->resolve(15, [&](auto loc) { anon_target = loc; });
+    network.sim().run_until(SimTime::seconds(30));
+    ASSERT_TRUE(plain_target.has_value());   // even target: plain row
+    ASSERT_TRUE(anon_target.has_value());    // odd target: anonymous row
+    EXPECT_NEAR(plain_target->x, network.true_position(14).x, 1.0);
+    EXPECT_NEAR(anon_target->x, network.true_position(15).x, 1.0);
+}
+
+TEST(Dlm, QueryTimesOutWhenServersEmpty) {
+    // Query immediately at t=0, before any update: must fail after
+    // query_timeout * (retries + 1).
+    net::Network network(phy::PhyParams{}, 31);
+    std::vector<GpsrGreedyAgent*> agents;
+    const GridMap grid(mobility::Area{1500, 300}, 300.0);
+    for (int xi = 0; xi < 10; ++xi) {
+        net::Node& node = network.add_node(
+            std::make_unique<mobility::StationaryMobility>(Vec2{75.0 + xi * 150.0, 150.0}),
+            mac::MacParams{});
+        auto agent = std::make_unique<GpsrGreedyAgent>(
+            node, GpsrGreedyAgent::Params{},
+            [](NodeId) -> std::optional<Vec2> { return std::nullopt; }, nullptr);
+        agent->enable_location_service(grid, LocationService::Params{});
+        agents.push_back(agent.get());
+        node.set_agent(std::move(agent));
+    }
+    network.start_agents();
+    bool called = false;
+    std::optional<Vec2> resolved = Vec2{1, 1};
+    agents[0]->location_service()->resolve(5, [&](auto loc) {
+        called = true;
+        resolved = loc;
+    });
+    network.sim().run_until(SimTime::seconds(1.0));
+    EXPECT_FALSE(called);  // still retrying
+    network.sim().run_until(SimTime::seconds(10.0));
+    EXPECT_TRUE(called);
+    EXPECT_FALSE(resolved.has_value());
+}
+
+}  // namespace

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "crypto/ring_signature.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace geoanon::crypto;
+using geoanon::util::Bytes;
+using geoanon::util::ByteReader;
+using geoanon::util::Rng;
+
+class RingTest : public ::testing::Test {
+  protected:
+    static constexpr std::size_t kBits = 256;
+
+    void SetUp() override {
+        for (int i = 0; i < 4; ++i) {
+            keypairs_.push_back(rsa_generate(rng_, kBits));
+            ring_.push_back(keypairs_.back().pub);
+        }
+    }
+
+    Rng rng_{777};
+    std::vector<RsaKeyPair> keypairs_;
+    std::vector<RsaPublicKey> ring_;
+    Bytes msg_{'h', 'e', 'l', 'l', 'o'};
+};
+
+TEST_F(RingTest, SignVerify) {
+    const RingSignature sig = ring_sign(msg_, ring_, 1, keypairs_[1].priv, rng_);
+    EXPECT_TRUE(ring_verify(msg_, ring_, sig));
+}
+
+TEST_F(RingTest, EveryMemberCanSign) {
+    // Signer ambiguity baseline: a valid signature exists for every slot and
+    // verification cannot tell them apart (all verify against the same ring).
+    for (std::size_t s = 0; s < ring_.size(); ++s) {
+        const RingSignature sig = ring_sign(msg_, ring_, s, keypairs_[s].priv, rng_);
+        EXPECT_TRUE(ring_verify(msg_, ring_, sig)) << "signer " << s;
+        EXPECT_EQ(sig.ring_size(), ring_.size());
+    }
+}
+
+TEST_F(RingTest, RingOfOne) {
+    std::vector<RsaPublicKey> solo{ring_[0]};
+    const RingSignature sig = ring_sign(msg_, solo, 0, keypairs_[0].priv, rng_);
+    EXPECT_TRUE(ring_verify(msg_, solo, sig));
+}
+
+TEST_F(RingTest, WrongMessageRejected) {
+    const RingSignature sig = ring_sign(msg_, ring_, 0, keypairs_[0].priv, rng_);
+    EXPECT_FALSE(ring_verify(Bytes{'h', 'e', 'l', 'l', 'O'}, ring_, sig));
+}
+
+TEST_F(RingTest, WrongRingRejected) {
+    const RingSignature sig = ring_sign(msg_, ring_, 0, keypairs_[0].priv, rng_);
+    // Reordering the ring changes the combining key: must fail.
+    std::vector<RsaPublicKey> reordered{ring_[1], ring_[0], ring_[2], ring_[3]};
+    EXPECT_FALSE(ring_verify(msg_, reordered, sig));
+    // Substituting a member must fail too.
+    RsaKeyPair outsider = rsa_generate(rng_, kBits);
+    std::vector<RsaPublicKey> swapped = ring_;
+    swapped[2] = outsider.pub;
+    EXPECT_FALSE(ring_verify(msg_, swapped, sig));
+}
+
+TEST_F(RingTest, TamperedGlueOrXsRejected) {
+    RingSignature sig = ring_sign(msg_, ring_, 2, keypairs_[2].priv, rng_);
+    RingSignature bad_v = sig;
+    bad_v.v[0] ^= 1;
+    EXPECT_FALSE(ring_verify(msg_, ring_, bad_v));
+    RingSignature bad_x = sig;
+    bad_x.xs[3][5] ^= 1;
+    EXPECT_FALSE(ring_verify(msg_, ring_, bad_x));
+}
+
+TEST_F(RingTest, SizeMismatchRejected) {
+    RingSignature sig = ring_sign(msg_, ring_, 0, keypairs_[0].priv, rng_);
+    RingSignature short_sig = sig;
+    short_sig.xs.pop_back();
+    EXPECT_FALSE(ring_verify(msg_, ring_, short_sig));
+    RingSignature bad_block = sig;
+    bad_block.block_bytes -= 2;
+    EXPECT_FALSE(ring_verify(msg_, ring_, bad_block));
+}
+
+TEST_F(RingTest, SerializeRoundTrip) {
+    const RingSignature sig = ring_sign(msg_, ring_, 3, keypairs_[3].priv, rng_);
+    const Bytes ser = sig.serialize();
+    ByteReader r(ser);
+    const auto back = RingSignature::deserialize(r);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_TRUE(ring_verify(msg_, ring_, *back));
+    EXPECT_EQ(back->v, sig.v);
+    EXPECT_EQ(back->xs, sig.xs);
+}
+
+TEST_F(RingTest, SizeGrowsLinearlyWithRing) {
+    // §4: the anonymity/overhead trade — signature bytes grow with k.
+    const std::size_t block = ring_block_bytes(ring_);
+    const RingSignature sig = ring_sign(msg_, ring_, 0, keypairs_[0].priv, rng_);
+    EXPECT_EQ(sig.size_bytes(), block + ring_.size() * block);
+
+    std::vector<RsaPublicKey> solo{ring_[0]};
+    const RingSignature small = ring_sign(msg_, solo, 0, keypairs_[0].priv, rng_);
+    EXPECT_LT(small.size_bytes(), sig.size_bytes());
+}
+
+TEST_F(RingTest, BlockBytesCoverModulus) {
+    const std::size_t block = ring_block_bytes(ring_);
+    EXPECT_GE(block * 8, kBits + 64);
+    EXPECT_EQ(block % 2, 0u);
+}
+
+TEST_F(RingTest, MixedKeySizesVerify) {
+    // Common-domain extension must handle rings with different modulus sizes.
+    Rng rng2(31337);
+    RsaKeyPair big = rsa_generate(rng2, 384);
+    std::vector<RsaPublicKey> mixed{ring_[0], big.pub, ring_[1]};
+    const RingSignature by_small = ring_sign(msg_, mixed, 0, keypairs_[0].priv, rng2);
+    EXPECT_TRUE(ring_verify(msg_, mixed, by_small));
+    const RingSignature by_big = ring_sign(msg_, mixed, 1, big.priv, rng2);
+    EXPECT_TRUE(ring_verify(msg_, mixed, by_big));
+}
+
+}  // namespace

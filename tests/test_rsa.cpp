@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include "crypto/rsa.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace geoanon::crypto;
+using geoanon::util::Bytes;
+using geoanon::util::ByteReader;
+using geoanon::util::Rng;
+
+class RsaTest : public ::testing::Test {
+  protected:
+    // 256-bit keys keep the suite fast; the constructions are size-agnostic
+    // and the paper's 512-bit size is exercised in test_cert_engine.
+    static constexpr std::size_t kBits = 256;
+    Rng rng_{20260706};
+    RsaKeyPair kp_ = rsa_generate(rng_, kBits);
+};
+
+TEST_F(RsaTest, KeyShape) {
+    EXPECT_EQ(kp_.pub.modulus_bits(), kBits);
+    EXPECT_EQ(kp_.pub.modulus_bytes(), kBits / 8);
+    EXPECT_EQ(kp_.pub.e.low_u64(), 65537u);
+    EXPECT_EQ(Bignum::mul(kp_.priv.p, kp_.priv.q), kp_.pub.n);
+}
+
+TEST_F(RsaTest, RawOpsAreInverse) {
+    const Bignum x = Bignum::random_below(rng_, kp_.pub.n);
+    const Bignum y = rsa_public_op(kp_.pub, x);
+    EXPECT_EQ(rsa_private_op(kp_.priv, y), x);
+    // And the other direction (sign then verify at the raw level).
+    const Bignum s = rsa_private_op(kp_.priv, x);
+    EXPECT_EQ(rsa_public_op(kp_.pub, s), x);
+}
+
+TEST_F(RsaTest, EncryptDecryptRoundTrip) {
+    const Bytes msg{'h', 'e', 'l', 'l', 'o', 0x00, 0xFF};
+    const auto ct = rsa_encrypt(kp_.pub, rng_, msg);
+    ASSERT_TRUE(ct.has_value());
+    EXPECT_EQ(ct->size(), kBits / 8);
+    EXPECT_EQ(rsa_decrypt(kp_.priv, *ct), msg);
+}
+
+TEST_F(RsaTest, EncryptionIsRandomized) {
+    const Bytes msg{'x'};
+    const auto c1 = rsa_encrypt(kp_.pub, rng_, msg);
+    const auto c2 = rsa_encrypt(kp_.pub, rng_, msg);
+    ASSERT_TRUE(c1 && c2);
+    EXPECT_NE(*c1, *c2);
+    EXPECT_EQ(rsa_decrypt(kp_.priv, *c1), rsa_decrypt(kp_.priv, *c2));
+}
+
+TEST_F(RsaTest, MessageTooLongRejected) {
+    const Bytes msg(kBits / 8 - 10, 0x5A);  // one byte over the k-11 limit
+    EXPECT_FALSE(rsa_encrypt(kp_.pub, rng_, msg).has_value());
+    const Bytes max_msg(kBits / 8 - 11, 0x5A);
+    EXPECT_TRUE(rsa_encrypt(kp_.pub, rng_, max_msg).has_value());
+}
+
+TEST_F(RsaTest, EmptyMessageRoundTrip) {
+    const auto ct = rsa_encrypt(kp_.pub, rng_, Bytes{});
+    ASSERT_TRUE(ct.has_value());
+    EXPECT_EQ(rsa_decrypt(kp_.priv, *ct), Bytes{});
+}
+
+TEST_F(RsaTest, WrongKeyFailsCleanly) {
+    RsaKeyPair other = rsa_generate(rng_, kBits);
+    const Bytes msg{'s', 'e', 'c', 'r', 'e', 't'};
+    const auto ct = rsa_encrypt(kp_.pub, rng_, msg);
+    ASSERT_TRUE(ct.has_value());
+    // Decrypting with the wrong private key must fail the padding check —
+    // the trapdoor property AGFW's destination detection relies on (§3.2).
+    EXPECT_FALSE(rsa_decrypt(other.priv, *ct).has_value());
+}
+
+TEST_F(RsaTest, CorruptedCiphertextRejected) {
+    const auto ct = rsa_encrypt(kp_.pub, rng_, Bytes{'a', 'b'});
+    ASSERT_TRUE(ct.has_value());
+    Bytes bad = *ct;
+    bad[bad.size() / 2] ^= 0x01;
+    // Either padding fails or (absurdly unlikely) decodes to something else.
+    const auto pt = rsa_decrypt(kp_.priv, bad);
+    if (pt) {
+        EXPECT_NE(*pt, (Bytes{'a', 'b'}));
+    }
+    Bytes truncated(ct->begin(), ct->end() - 1);
+    EXPECT_FALSE(rsa_decrypt(kp_.priv, truncated).has_value());
+}
+
+TEST_F(RsaTest, SignVerify) {
+    const Bytes msg{'m', 's', 'g'};
+    const Bytes sig = rsa_sign(kp_.priv, msg);
+    EXPECT_EQ(sig.size(), kBits / 8);
+    EXPECT_TRUE(rsa_verify(kp_.pub, msg, sig));
+}
+
+TEST_F(RsaTest, VerifyRejectsTamperedMessage) {
+    const Bytes msg{'m', 's', 'g'};
+    const Bytes sig = rsa_sign(kp_.priv, msg);
+    EXPECT_FALSE(rsa_verify(kp_.pub, Bytes{'m', 's', 'G'}, sig));
+}
+
+TEST_F(RsaTest, VerifyRejectsTamperedSignature) {
+    const Bytes msg{'m'};
+    Bytes sig = rsa_sign(kp_.priv, msg);
+    sig[0] ^= 0x80;
+    EXPECT_FALSE(rsa_verify(kp_.pub, msg, sig));
+    EXPECT_FALSE(rsa_verify(kp_.pub, msg, Bytes{}));
+}
+
+TEST_F(RsaTest, VerifyRejectsWrongKey) {
+    RsaKeyPair other = rsa_generate(rng_, kBits);
+    const Bytes msg{'m'};
+    const Bytes sig = rsa_sign(kp_.priv, msg);
+    EXPECT_FALSE(rsa_verify(other.pub, msg, sig));
+}
+
+TEST_F(RsaTest, PublicKeySerializeRoundTrip) {
+    const Bytes ser = kp_.pub.serialize();
+    ByteReader r(ser);
+    const auto back = RsaPublicKey::deserialize(r);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, kp_.pub);
+    EXPECT_EQ(back->fingerprint(), kp_.pub.fingerprint());
+}
+
+TEST_F(RsaTest, FingerprintDistinguishesKeys) {
+    RsaKeyPair other = rsa_generate(rng_, kBits);
+    EXPECT_NE(kp_.pub.fingerprint(), other.pub.fingerprint());
+}
+
+TEST(RsaKeygen, DeterministicGivenRngState) {
+    Rng a(42), b(42);
+    const RsaKeyPair ka = rsa_generate(a, 128);
+    const RsaKeyPair kb = rsa_generate(b, 128);
+    EXPECT_EQ(ka.pub, kb.pub);
+}
+
+TEST(RsaKeygen, DistinctKeysFromOneStream) {
+    Rng rng(43);
+    const RsaKeyPair a = rsa_generate(rng, 128);
+    const RsaKeyPair b = rsa_generate(rng, 128);
+    EXPECT_FALSE(a.pub == b.pub);
+}
+
+}  // namespace

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "crypto/sha256.hpp"
+#include "util/bytes.hpp"
+
+namespace {
+
+using geoanon::crypto::Sha256;
+using geoanon::crypto::sha256_keystream;
+using geoanon::crypto::sha256_u64;
+using geoanon::util::Bytes;
+using geoanon::util::to_hex;
+
+std::string hex_digest(const Sha256::Digest& d) { return to_hex({d.data(), d.size()}); }
+
+// FIPS 180-4 / NIST CAVS known-answer tests.
+
+TEST(Sha256, EmptyString) {
+    EXPECT_EQ(hex_digest(Sha256::hash("")),
+              "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+    EXPECT_EQ(hex_digest(Sha256::hash("abc")),
+              "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+    EXPECT_EQ(hex_digest(Sha256::hash(
+                  "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+              "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+    Sha256 h;
+    const std::string chunk(1000, 'a');
+    for (int i = 0; i < 1000; ++i) h.update(chunk);
+    EXPECT_EQ(hex_digest(h.finish()),
+              "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, ExactBlockBoundary) {
+    // 64 bytes: padding spills into a second block.
+    const std::string msg(64, 'x');
+    const auto one_shot = Sha256::hash(msg);
+    Sha256 streaming;
+    streaming.update(msg.substr(0, 13));
+    streaming.update(msg.substr(13));
+    EXPECT_EQ(one_shot, streaming.finish());
+}
+
+TEST(Sha256, FiftyFiveAndFiftySixBytes) {
+    // 55 bytes: padding fits in one block; 56: does not. Both must round-trip
+    // against the streaming interface.
+    for (std::size_t len : {55u, 56u, 63u, 65u}) {
+        const std::string msg(len, 'q');
+        Sha256 byte_at_a_time;
+        for (char c : msg) byte_at_a_time.update(std::string_view(&c, 1));
+        EXPECT_EQ(Sha256::hash(msg), byte_at_a_time.finish()) << "len=" << len;
+    }
+}
+
+TEST(Sha256, DifferentInputsDiffer) {
+    EXPECT_NE(Sha256::hash("foo"), Sha256::hash("fop"));
+    EXPECT_NE(Sha256::hash("foo"), Sha256::hash("foo "));
+}
+
+TEST(Sha256Keystream, DeterministicAndLengthExact) {
+    const Bytes key{1, 2, 3};
+    const Bytes a = sha256_keystream(key, 100);
+    const Bytes b = sha256_keystream(key, 100);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a.size(), 100u);
+    EXPECT_EQ(sha256_keystream(key, 7).size(), 7u);
+}
+
+TEST(Sha256Keystream, PrefixProperty) {
+    const Bytes key{9, 9};
+    const Bytes longer = sha256_keystream(key, 96);
+    const Bytes shorter = sha256_keystream(key, 40);
+    EXPECT_TRUE(std::equal(shorter.begin(), shorter.end(), longer.begin()));
+}
+
+TEST(Sha256Keystream, KeySensitivity) {
+    EXPECT_NE(sha256_keystream(Bytes{1}, 32), sha256_keystream(Bytes{2}, 32));
+}
+
+TEST(Sha256U64, MatchesDigestPrefix) {
+    const auto d = Sha256::hash("abc");
+    std::uint64_t expected = 0;
+    for (int i = 0; i < 8; ++i) expected = (expected << 8) | d[static_cast<std::size_t>(i)];
+    const Bytes abc{'a', 'b', 'c'};
+    EXPECT_EQ(sha256_u64(abc), expected);
+}
+
+}  // namespace

@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace geoanon::sim;
+using geoanon::util::SimTime;
+using namespace geoanon::util::literals;
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+    Simulator sim;
+    std::vector<int> order;
+    sim.at(3_s, [&] { order.push_back(3); });
+    sim.at(1_s, [&] { order.push_back(1); });
+    sim.at(2_s, [&] { order.push_back(2); });
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, FifoTieBreakAtSameTime) {
+    Simulator sim;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i) sim.at(1_s, [&order, i] { order.push_back(i); });
+    sim.run();
+    for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulator, ClockAdvancesToEventTime) {
+    Simulator sim;
+    SimTime seen{};
+    sim.at(5_s, [&] { seen = sim.now(); });
+    sim.run();
+    EXPECT_EQ(seen, 5_s);
+}
+
+TEST(Simulator, AfterIsRelative) {
+    Simulator sim;
+    SimTime seen{};
+    sim.at(2_s, [&] { sim.after(3_s, [&] { seen = sim.now(); }); });
+    sim.run();
+    EXPECT_EQ(seen, 5_s);
+}
+
+TEST(Simulator, RunUntilStopsAtHorizonAndAdvancesClock) {
+    Simulator sim;
+    int fired = 0;
+    sim.at(1_s, [&] { ++fired; });
+    sim.at(10_s, [&] { ++fired; });
+    sim.run_until(5_s);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(sim.now(), 5_s);
+    sim.run_until(20_s);
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+    Simulator sim;
+    bool ran = false;
+    const EventId id = sim.at(1_s, [&] { ran = true; });
+    sim.cancel(id);
+    sim.run();
+    EXPECT_FALSE(ran);
+}
+
+TEST(Simulator, CancelIsIdempotentAndSafeAfterFire) {
+    Simulator sim;
+    int runs = 0;
+    const EventId id = sim.at(1_s, [&] { ++runs; });
+    sim.run();
+    sim.cancel(id);  // already fired: harmless
+    sim.cancel(kInvalidEvent);
+    sim.at(2_s, [&] { ++runs; });
+    sim.run();
+    EXPECT_EQ(runs, 2);
+}
+
+TEST(Simulator, PastEventsClampToNow) {
+    Simulator sim;
+    SimTime when{};
+    sim.at(5_s, [&] { sim.at(1_s, [&] { when = sim.now(); }); });
+    sim.run();
+    EXPECT_EQ(when, 5_s);  // the "past" event ran at the current time
+}
+
+TEST(Simulator, StopExitsRunLoop) {
+    Simulator sim;
+    int fired = 0;
+    sim.at(1_s, [&] {
+        ++fired;
+        sim.stop();
+    });
+    sim.at(2_s, [&] { ++fired; });
+    sim.run();
+    EXPECT_EQ(fired, 1);
+    sim.run();  // resumes with remaining events
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, EventsProcessedCount) {
+    Simulator sim;
+    for (int i = 0; i < 7; ++i) sim.at(SimTime::millis(i), [] {});
+    sim.run();
+    EXPECT_EQ(sim.events_processed(), 7u);
+}
+
+TEST(Simulator, CallbackCanScheduleAtCurrentTime) {
+    Simulator sim;
+    std::vector<int> order;
+    sim.at(1_s, [&] {
+        order.push_back(1);
+        sim.after(SimTime::zero(), [&] { order.push_back(2); });
+    });
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(PeriodicTimer, TicksAtPeriod) {
+    Simulator sim;
+    PeriodicTimer timer;
+    std::vector<SimTime> ticks;
+    timer.start(sim, 1_s, 500_ms, [&] { ticks.push_back(sim.now()); });
+    sim.run_until(3600_ms);
+    ASSERT_EQ(ticks.size(), 4u);  // 0.5, 1.5, 2.5, 3.5
+    EXPECT_EQ(ticks[0], 500_ms);
+    EXPECT_EQ(ticks[3], 3500_ms);
+}
+
+TEST(PeriodicTimer, StopHaltsTicks) {
+    Simulator sim;
+    PeriodicTimer timer;
+    int ticks = 0;
+    timer.start(sim, 1_s, 1_s, [&] {
+        if (++ticks == 2) timer.stop();
+    });
+    sim.run_until(10_s);
+    EXPECT_EQ(ticks, 2);
+    EXPECT_FALSE(timer.running());
+}
+
+TEST(PeriodicTimer, DestructorCancels) {
+    Simulator sim;
+    int ticks = 0;
+    {
+        PeriodicTimer timer;
+        timer.start(sim, 1_s, 1_s, [&] { ++ticks; });
+    }
+    sim.run_until(5_s);
+    EXPECT_EQ(ticks, 0);
+}
+
+TEST(PeriodicTimer, RestartReplacesSchedule) {
+    Simulator sim;
+    PeriodicTimer timer;
+    int a = 0, b = 0;
+    timer.start(sim, 1_s, 1_s, [&] { ++a; });
+    timer.start(sim, 2_s, 2_s, [&] { ++b; });  // restart with new cadence
+    sim.run_until(6500_ms);
+    EXPECT_EQ(a, 0);
+    EXPECT_EQ(b, 3);  // 2, 4, 6
+}
+
+}  // namespace
