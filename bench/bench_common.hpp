@@ -39,6 +39,9 @@ inline workload::ScenarioConfig paper_scenario(workload::Scheme scheme,
     cfg.sim_seconds = seconds;
     cfg.traffic_stop_s = seconds - 20.0;
     cfg.seed = seed;
+    // Benches measure the protocol, not the checker; keep timing comparable
+    // to the pre-checker numbers.
+    cfg.check_invariants = false;
     return cfg;
 }
 

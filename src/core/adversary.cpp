@@ -10,8 +10,7 @@ Eavesdropper::Eavesdropper(phy::Channel& channel, std::size_t node_count,
                            std::function<net::NodeId(net::MacAddr)> ground_truth,
                            Params params)
     : node_count_(node_count), ground_truth_(std::move(ground_truth)), params_(params) {
-    channel.set_snoop([this, &channel](const phy::Frame& f, const util::Vec2& pos) {
-        (void)pos;
+    channel.add_snoop([this, &channel](const phy::Frame& f, const util::Vec2& /*pos*/) {
         observe(f, channel.simulator().now().to_seconds());
     });
 }

@@ -223,20 +223,57 @@ Bytes encode(const Packet& p, bool include_trace) {
 
 std::size_t encoded_size(const Packet& p) { return encode(p, false).size(); }
 
-std::optional<Packet> decode(std::span<const std::uint8_t> wire, bool include_trace) {
+const char* decode_error_name(DecodeError e) {
+    switch (e) {
+        case DecodeError::kOk: return "ok";
+        case DecodeError::kEmpty: return "empty";
+        case DecodeError::kBadType: return "bad-type";
+        case DecodeError::kTruncated: return "truncated";
+        case DecodeError::kBadLength: return "bad-length";
+        case DecodeError::kTrailingBytes: return "trailing-bytes";
+    }
+    return "?";
+}
+
+namespace {
+
+DecodeResult fail(DecodeError e) { return DecodeResult{std::nullopt, e}; }
+
+/// Validates a u16-prefixed blob: the declared length must fit in what
+/// remains of the frame *before* any read happens, so an oversized length
+/// field is classified kBadLength (not kTruncated) and can never trigger an
+/// over-read.
+std::optional<Bytes> get_blob_u16(ByteReader& r, DecodeError& err) {
+    auto len = r.u16();
+    if (!len) {
+        err = DecodeError::kTruncated;
+        return std::nullopt;
+    }
+    if (*len > r.remaining()) {
+        err = DecodeError::kBadLength;
+        return std::nullopt;
+    }
+    return r.raw(*len);
+}
+
+}  // namespace
+
+DecodeResult decode_ex(std::span<const std::uint8_t> wire, bool include_trace) {
+    if (wire.empty()) return fail(DecodeError::kEmpty);
+
     std::span<const std::uint8_t> base = wire;
     std::span<const std::uint8_t> trailer;
     if (include_trace) {
-        if (wire.size() < kTraceTrailerBytes) return std::nullopt;
+        if (wire.size() < kTraceTrailerBytes + 1) return fail(DecodeError::kTruncated);
         base = wire.subspan(0, wire.size() - kTraceTrailerBytes);
         trailer = wire.subspan(wire.size() - kTraceTrailerBytes);
     }
 
     ByteReader r(base);
     auto type_raw = r.u8();
-    if (!type_raw) return std::nullopt;
+    if (!type_raw) return fail(DecodeError::kTruncated);
     if (*type_raw > static_cast<std::uint8_t>(PacketType::kLocReplicate))
-        return std::nullopt;
+        return fail(DecodeError::kBadType);
 
     Packet p;
     p.type = static_cast<PacketType>(*type_raw);
@@ -246,7 +283,7 @@ std::optional<Packet> decode(std::span<const std::uint8_t> wire, bool include_tr
             auto id = r.u32();
             auto loc = get_vec(r);
             auto ts = r.u64();
-            if (!id || !loc || !ts) return std::nullopt;
+            if (!id || !loc || !ts) return fail(DecodeError::kTruncated);
             p.src_id = *id;
             p.hello_loc = *loc;
             p.hello_ts = util::SimTime::nanos(static_cast<std::int64_t>(*ts));
@@ -256,7 +293,7 @@ std::optional<Packet> decode(std::span<const std::uint8_t> wire, bool include_tr
             auto src = r.u32();
             auto dst = r.u32();
             auto loc = get_vec(r);
-            if (!src || !dst || !loc) return std::nullopt;
+            if (!src || !dst || !loc) return fail(DecodeError::kTruncated);
             p.src_id = *src;
             p.dst_id = *dst;
             p.dst_loc = *loc;
@@ -269,25 +306,31 @@ std::optional<Packet> decode(std::span<const std::uint8_t> wire, bool include_tr
             auto n = get_u48(r);
             auto loc = get_vec(r);
             auto ts = r.u64();
-            if (!flags || !n || !loc || !ts) return std::nullopt;
+            if (!flags || !n || !loc || !ts) return fail(DecodeError::kTruncated);
             p.hello_pseudonym = *n;
             p.hello_loc = *loc;
             p.hello_ts = util::SimTime::nanos(static_cast<std::int64_t>(*ts));
             if (*flags & kFlagVelocity) {
                 auto v = get_velocity(r);
-                if (!v) return std::nullopt;
+                if (!v) return fail(DecodeError::kTruncated);
                 p.hello_velocity = *v;
             }
             if (*flags & kFlagAuth) {
-                auto auth_len = r.u16();
-                if (!auth_len) return std::nullopt;
-                auto auth = r.raw(*auth_len);
-                auto count = r.u16();
-                if (!auth || !count) return std::nullopt;
+                DecodeError err = DecodeError::kOk;
+                auto auth = get_blob_u16(r, err);
+                if (!auth) return fail(err);
                 p.auth = std::move(*auth);
+                auto count = r.u16();
+                if (!count) return fail(DecodeError::kTruncated);
+                // Each ring member is a 4-byte certificate serial; reject a
+                // count the remaining bytes cannot possibly satisfy before
+                // allocating anything.
+                if (static_cast<std::size_t>(*count) * 4 > r.remaining())
+                    return fail(DecodeError::kBadLength);
+                p.ring_members.reserve(*count);
                 for (std::uint16_t i = 0; i < *count; ++i) {
                     auto ref = r.u32();
-                    if (!ref) return std::nullopt;
+                    if (!ref) return fail(DecodeError::kTruncated);
                     p.ring_members.push_back(*ref);
                 }
             }
@@ -297,14 +340,14 @@ std::optional<Packet> decode(std::span<const std::uint8_t> wire, bool include_tr
             auto flags = r.u8();
             auto loc = get_vec(r);
             auto n = get_u48(r);
-            if (!flags || !loc || !n) return std::nullopt;
+            if (!flags || !loc || !n) return fail(DecodeError::kTruncated);
             p.dst_loc = *loc;
             p.next_hop_pseudonym = *n;
-            if ((*flags & kFlagPerimeter) && !get_perimeter(r, p)) return std::nullopt;
-            auto td_len = r.u16();
-            if (!td_len) return std::nullopt;
-            auto td = r.raw(*td_len);
-            if (!td) return std::nullopt;
+            if ((*flags & kFlagPerimeter) && !get_perimeter(r, p))
+                return fail(DecodeError::kTruncated);
+            DecodeError err = DecodeError::kOk;
+            auto td = get_blob_u16(r, err);
+            if (!td) return fail(err);
             p.trapdoor = std::move(*td);
             auto body = r.raw(r.remaining());
             p.body = std::move(*body);
@@ -312,10 +355,14 @@ std::optional<Packet> decode(std::span<const std::uint8_t> wire, bool include_tr
         }
         case PacketType::kAgfwAck: {
             auto count = r.u16();
-            if (!count) return std::nullopt;
+            if (!count) return fail(DecodeError::kTruncated);
+            // 8 bytes per acknowledged uid.
+            if (static_cast<std::size_t>(*count) * 8 > r.remaining())
+                return fail(DecodeError::kBadLength);
+            p.ack_uids.reserve(*count);
             for (std::uint16_t i = 0; i < *count; ++i) {
                 auto uid = r.u64();
-                if (!uid) return std::nullopt;
+                if (!uid) return fail(DecodeError::kTruncated);
                 p.ack_uids.push_back(*uid);
             }
             break;
@@ -328,13 +375,14 @@ std::optional<Packet> decode(std::span<const std::uint8_t> wire, bool include_tr
             auto n = get_u48(r);
             auto grid = r.u32();
             auto loc = get_vec(r);
-            if (!flags || !n || !grid || !loc) return std::nullopt;
+            if (!flags || !n || !grid || !loc) return fail(DecodeError::kTruncated);
             p.next_hop_pseudonym = *n;
             p.grid = *grid;
             p.dst_loc = *loc;
             p.ls_assist = (*flags & kFlagAssist) != 0;
             const bool anonymous = (*flags & kFlagAnonymous) != 0;
-            if ((*flags & kFlagPerimeter) && !get_perimeter(r, p)) return std::nullopt;
+            if ((*flags & kFlagPerimeter) && !get_perimeter(r, p))
+                return fail(DecodeError::kTruncated);
 
             if (p.type == PacketType::kLocUpdate || p.type == PacketType::kLocReplicate) {
                 if (anonymous) {
@@ -344,7 +392,7 @@ std::optional<Packet> decode(std::span<const std::uint8_t> wire, bool include_tr
                     auto subject = r.u32();
                     auto sloc = get_vec(r);
                     auto ts = r.u64();
-                    if (!subject || !sloc || !ts) return std::nullopt;
+                    if (!subject || !sloc || !ts) return fail(DecodeError::kTruncated);
                     p.ls_subject = *subject;
                     p.ls_subject_loc = *sloc;
                     p.created_at = util::SimTime::nanos(static_cast<std::int64_t>(*ts));
@@ -352,25 +400,24 @@ std::optional<Packet> decode(std::span<const std::uint8_t> wire, bool include_tr
             } else if (p.type == PacketType::kLocRequest) {
                 auto rloc = get_vec(r);
                 auto qid = r.u64();
-                if (!rloc || !qid) return std::nullopt;
+                if (!rloc || !qid) return fail(DecodeError::kTruncated);
                 p.requester_loc = *rloc;
                 p.ls_query_id = *qid;
                 if (anonymous) {
-                    auto idx_len = r.u16();
-                    if (!idx_len) return std::nullopt;
-                    auto idx = r.raw(*idx_len);
-                    if (!idx) return std::nullopt;
+                    DecodeError err = DecodeError::kOk;
+                    auto idx = get_blob_u16(r, err);
+                    if (!idx) return fail(err);
                     p.ls_index = std::move(*idx);
                 } else {
                     auto subject = r.u32();
                     auto src = r.u32();
-                    if (!subject || !src) return std::nullopt;
+                    if (!subject || !src) return fail(DecodeError::kTruncated);
                     p.ls_subject = *subject;
                     p.src_id = *src;
                 }
             } else {  // kLocReply
                 auto qid = r.u64();
-                if (!qid) return std::nullopt;
+                if (!qid) return fail(DecodeError::kTruncated);
                 p.ls_query_id = *qid;
                 if (anonymous) {
                     auto payload = r.raw(r.remaining());
@@ -379,7 +426,7 @@ std::optional<Packet> decode(std::span<const std::uint8_t> wire, bool include_tr
                     auto dst = r.u32();
                     auto subject = r.u32();
                     auto sloc = get_vec(r);
-                    if (!dst || !subject || !sloc) return std::nullopt;
+                    if (!dst || !subject || !sloc) return fail(DecodeError::kTruncated);
                     p.dst_id = *dst;
                     p.ls_subject = *subject;
                     p.ls_subject_loc = *sloc;
@@ -389,18 +436,29 @@ std::optional<Packet> decode(std::span<const std::uint8_t> wire, bool include_tr
         }
     }
 
-    if (r.remaining() != 0) return std::nullopt;  // types with fixed layouts
+    if (r.remaining() != 0) return fail(DecodeError::kTrailingBytes);
 
     if (include_trace) {
         ByteReader tr(trailer);
-        p.flow = *tr.u32();
-        p.seq = *tr.u32();
-        p.created_at = util::SimTime::nanos(static_cast<std::int64_t>(*tr.u64()));
-        p.uid = *tr.u64();
-        p.hops = *tr.u16();
+        const auto flow = tr.u32();
+        const auto seq = tr.u32();
+        const auto created = tr.u64();
+        const auto uid = tr.u64();
+        const auto hops = tr.u16();
+        if (!flow || !seq || !created || !uid || !hops)
+            return fail(DecodeError::kTruncated);  // unreachable: sized above
+        p.flow = *flow;
+        p.seq = *seq;
+        p.created_at = util::SimTime::nanos(static_cast<std::int64_t>(*created));
+        p.uid = *uid;
+        p.hops = *hops;
     }
     p.wire_bytes = static_cast<std::uint32_t>(base.size());
-    return p;
+    return DecodeResult{std::move(p), DecodeError::kOk};
+}
+
+std::optional<Packet> decode(std::span<const std::uint8_t> wire, bool include_trace) {
+    return decode_ex(wire, include_trace).packet;
 }
 
 }  // namespace geoanon::net::codec

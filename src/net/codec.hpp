@@ -36,6 +36,32 @@ util::Bytes encode(const Packet& pkt, bool include_trace = false);
 /// Size of encode(pkt, false) without materializing it.
 std::size_t encoded_size(const Packet& pkt);
 
+/// Why a decode rejected its input. Every malformed frame maps to exactly
+/// one of these; the fuzz harness and the regression tests assert on them.
+enum class DecodeError : std::uint8_t {
+    kOk = 0,
+    kEmpty,          ///< zero-length input (no type byte)
+    kBadType,        ///< type byte outside the PacketType range
+    kTruncated,      ///< ran out of bytes mid-field
+    kBadLength,      ///< a length/count field exceeds the bytes that remain
+    kTrailingBytes,  ///< fixed-layout packet followed by extra bytes
+};
+
+/// Human-readable name for a DecodeError (stable; used in fuzz output).
+const char* decode_error_name(DecodeError e);
+
+/// Parse outcome: `packet` is engaged iff `error == kOk`.
+struct DecodeResult {
+    std::optional<Packet> packet;
+    DecodeError error{DecodeError::kOk};
+};
+
+/// Parse a canonical byte string, reporting why malformed input was
+/// rejected. Never reads out of bounds and never throws: any structural
+/// error (truncation, bad type, inconsistent lengths) yields a diagnostic.
+DecodeResult decode_ex(std::span<const std::uint8_t> wire,
+                       bool include_trace = false);
+
 /// Parse a canonical byte string. Returns nullopt on any structural error
 /// (truncation, bad type, inconsistent lengths).
 std::optional<Packet> decode(std::span<const std::uint8_t> wire,

@@ -89,6 +89,7 @@ void Channel::start_tx(Radio* sender, const Frame& frame) {
     const std::uint64_t tx_id = next_tx_id_++;
     const Vec2 sender_pos = sender->position();
     if (snoop_) snoop_(frame, sender_pos);
+    for (const auto& tap : taps_) tap(frame, sender_pos);
     const SimTime airtime = params_.airtime(frame.wire_bytes);
 
     sender->begin_own_tx();

@@ -131,9 +131,13 @@ class Channel {
 
     /// Passive global eavesdropper tap: observes every transmission with the
     /// transmitter's true position (a sniffer near the sender learns as
-    /// much). Used by the privacy experiments (§4).
+    /// much). Used by the privacy experiments (§4). set_snoop() replaces the
+    /// (single) primary tap — historical API kept for tests; add_snoop()
+    /// appends an additional independent tap, so the eavesdropper and the
+    /// protocol invariant checker can observe the same run side by side.
     using SnoopFn = std::function<void(const Frame&, const Vec2& tx_pos)>;
     void set_snoop(SnoopFn snoop) { snoop_ = std::move(snoop); }
+    void add_snoop(SnoopFn snoop) { taps_.push_back(std::move(snoop)); }
 
   private:
     friend class Radio;
@@ -149,6 +153,7 @@ class Channel {
     Stats stats_;
     std::uint64_t next_tx_id_{1};
     SnoopFn snoop_;
+    std::vector<SnoopFn> taps_;
 };
 
 }  // namespace geoanon::phy

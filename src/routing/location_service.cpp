@@ -130,8 +130,11 @@ void LocationService::send_query(std::uint64_t qid) {
 
     ++stats_.queries_sent;
     stats_.query_bytes += pkt->wire_bytes;
-    hooks_.route(pkt);
 
+    // Register the retry timeout BEFORE routing: route() can deliver the
+    // request and its reply synchronously (requester in the home grid, or a
+    // one-hop store hit), and on_reply() erases the pending entry — writing
+    // q.timeout afterwards would dangle. on_reply cancels the timeout.
     q.timeout = hooks_.sim->after(params_.query_timeout, [this, qid] {
         auto it2 = pending_.find(qid);
         if (it2 == pending_.end()) return;
@@ -154,6 +157,8 @@ void LocationService::send_query(std::uint64_t qid) {
         ++stats_.resolved_fail;
         cb(std::nullopt);
     });
+
+    hooks_.route(pkt);
 }
 
 bool LocationService::near_home_center(const PacketPtr& pkt) const {

@@ -8,7 +8,7 @@ CliArgs::CliArgs(int argc, char** argv) {
     if (argc > 0) program_ = argv[0];
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
-        if (arg.rfind("--", 0) == 0) {
+        if (arg.starts_with("--")) {
             const auto eq = arg.find('=');
             if (eq == std::string::npos) {
                 values_[arg.substr(2)] = "true";
@@ -28,12 +28,20 @@ std::string CliArgs::get(const std::string& key, const std::string& dflt) const 
 
 double CliArgs::get(const std::string& key, double dflt) const {
     auto it = values_.find(key);
-    return it == values_.end() ? dflt : std::atof(it->second.c_str());
+    if (it == values_.end()) return dflt;
+    // strtod over atof: atof is UB on out-of-range input and reports no
+    // errors (cert-err34-c); malformed values fall back to the default.
+    char* end = nullptr;
+    const double v = std::strtod(it->second.c_str(), &end);
+    return end == it->second.c_str() ? dflt : v;
 }
 
 std::int64_t CliArgs::get(const std::string& key, std::int64_t dflt) const {
     auto it = values_.find(key);
-    return it == values_.end() ? dflt : std::atoll(it->second.c_str());
+    if (it == values_.end()) return dflt;
+    char* end = nullptr;
+    const std::int64_t v = std::strtoll(it->second.c_str(), &end, 10);
+    return end == it->second.c_str() ? dflt : v;
 }
 
 bool CliArgs::get(const std::string& key, bool dflt) const {

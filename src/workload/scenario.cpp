@@ -44,6 +44,19 @@ void ScenarioRunner::setup() {
     build_nodes();
     build_traffic();
 
+    if (config_.check_invariants) {
+        analysis::InvariantChecker::Params ip;
+        ip.expect_anonymous = config_.scheme != Scheme::kGpsrGreedy;
+        ip.expect_anonymous_mac = config_.anonymous_mac;
+        ip.expect_anonymous_ls =
+            !config_.location_service ||
+            *config_.location_service != routing::LocationService::Mode::kPlain;
+        ip.ant_ttl = config_.agfw.ant.ttl;
+        ip.hello_interval = config_.agfw.hello_interval;
+        checker_ = std::make_unique<analysis::InvariantChecker>(*network_, ip);
+        checker_->attach();
+    }
+
     if (config_.attach_eavesdropper) {
         // MAC address = id + 1 (see net/node.cpp) — scoring-only knowledge.
         eavesdropper_ = std::make_unique<core::Eavesdropper>(
@@ -173,13 +186,16 @@ void ScenarioRunner::build_traffic() {
         }
     }
 
-    // CBR generators: fixed inter-packet gap, self-rescheduling.
+    // CBR generators: fixed inter-packet gap, self-rescheduling. The runner
+    // owns the closures; each captures a raw pointer to itself so it can
+    // reschedule (capturing the shared_ptr would be a reference cycle — the
+    // function owning itself — which LeakSanitizer rightly reports).
     auto& sim = network_->sim();
     const double gap_s = 1.0 / config_.cbr_pps;
     for (std::size_t f = 0; f < flows_.size(); ++f) {
-        // Shared holder so the closure can reschedule itself.
         auto holder = std::make_shared<std::function<void()>>();
-        *holder = [this, f, gap_s, &sim, holder]() {
+        cbr_generators_.push_back(holder);
+        *holder = [this, f, gap_s, &sim, fn = holder.get()]() {
             Flow& flow = flows_[f];
             if (sim.now().to_seconds() > config_.traffic_stop_s) return;
             net::Bytes body(config_.cbr_payload_bytes, 0xAB);
@@ -187,7 +203,7 @@ void ScenarioRunner::build_traffic() {
             ++sent_per_flow_[f];
             network_->node(flow.src).agent().send_data(flow.dst, flow.id, seq,
                                                        std::move(body));
-            sim.after(SimTime::seconds(gap_s), *holder);
+            sim.after(SimTime::seconds(gap_s), *fn);
         };
         sim.at(SimTime::seconds(flows_[f].start_s), *holder);
     }
@@ -295,6 +311,7 @@ ScenarioResult ScenarioRunner::aggregate() {
     }
 
     if (eavesdropper_) r.adversary = eavesdropper_->report(config_.sim_seconds);
+    if (checker_) r.invariants = checker_->counters();
     r.events_processed = network_->sim().events_processed();
     return r;
 }

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/invariant_checker.hpp"
 #include "core/adversary.hpp"
 #include "core/agfw.hpp"
 #include "crypto/engine.hpp"
@@ -65,6 +66,9 @@ struct ScenarioConfig {
     routing::LocationService::Params ls_params{};
 
     bool attach_eavesdropper{false};
+    /// Run the protocol invariant checker alongside the scenario (passive;
+    /// cannot change the outcome). Results land in ScenarioResult::invariants.
+    bool check_invariants{true};
 
     core::AgfwAgent::Params agfw{};
     routing::GpsrGreedyAgent::Params gpsr{};
@@ -113,6 +117,9 @@ struct ScenarioResult {
     // Adversary (when attached)
     core::Eavesdropper::Report adversary{};
 
+    // Protocol invariant counters (when check_invariants is on)
+    analysis::InvariantChecker::Counters invariants{};
+
     std::uint64_t events_processed{0};
 };
 
@@ -134,6 +141,9 @@ class ScenarioRunner {
     const ScenarioConfig& config() const { return config_; }
     core::AgfwAgent* agfw_agent(net::NodeId id);
     routing::GpsrGreedyAgent* gpsr_agent(net::NodeId id);
+    /// The attached invariant checker (nullptr when check_invariants is off
+    /// or setup() has not run yet).
+    analysis::InvariantChecker* invariant_checker() { return checker_.get(); }
 
   private:
     struct Flow {
@@ -151,8 +161,13 @@ class ScenarioRunner {
 
     ScenarioConfig config_;
     std::unique_ptr<crypto::CryptoEngine> engine_;
+    /// Self-rescheduling CBR closures; owned here (not by themselves) so
+    /// the generator loop is leak-free. Declared before network_ so they
+    /// outlive any simulator events still pointing into them.
+    std::vector<std::shared_ptr<std::function<void()>>> cbr_generators_;
     std::unique_ptr<net::Network> network_;
     std::unique_ptr<core::Eavesdropper> eavesdropper_;
+    std::unique_ptr<analysis::InvariantChecker> checker_;
     std::vector<Flow> flows_;
     std::vector<core::AgfwAgent*> agfw_agents_;
     std::vector<routing::GpsrGreedyAgent*> gpsr_agents_;

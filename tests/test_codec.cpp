@@ -267,7 +267,9 @@ TEST(Codec, RandomBytesNeverCrashDecode) {
         Bytes junk(len);
         for (auto& b : junk) b = static_cast<std::uint8_t>(rng.next_u64());
         const auto out = codec::decode(junk);
-        if (out) EXPECT_LE(out->wire_bytes, len);
+        if (out) {
+            EXPECT_LE(out->wire_bytes, len);
+        }
     }
 }
 

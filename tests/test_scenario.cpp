@@ -37,6 +37,9 @@ TEST(Scenario, GpsrBaselineDeliversWell) {
     EXPECT_GT(r.avg_hops, 1.0);
     EXPECT_GT(r.rts_sent, 0u);       // RTS/CTS in use
     EXPECT_EQ(r.acks_sent, 0u);      // no NL acks in GPSR
+    // Wire discipline holds for the baseline too.
+    EXPECT_GT(r.invariants.packets_checked, 0u);
+    EXPECT_EQ(r.invariants.violations(), 0u);
 }
 
 TEST(Scenario, AgfwAckMatchesGpsrDelivery) {
@@ -47,6 +50,9 @@ TEST(Scenario, AgfwAckMatchesGpsrDelivery) {
     EXPECT_EQ(agfw.rts_sent, 0u);    // anonymous broadcasts: no handshake
     EXPECT_GT(agfw.acks_sent, 0u);
     EXPECT_GT(agfw.trapdoor_opens, 0u);
+    // The anonymity/addressing/reliability invariants hold throughout.
+    EXPECT_GT(agfw.invariants.frames_checked, 0u);
+    EXPECT_EQ(agfw.invariants.violations(), 0u);
 }
 
 TEST(Scenario, AgfwNoAckDeliversWorse) {
@@ -105,6 +111,8 @@ TEST(Scenario, LocationServiceModeRuns) {
     EXPECT_GT(r.ls.resolved_ok, 0u);
     // Some packets deliver through the full anonymous stack.
     EXPECT_GT(r.delivery_fraction, 0.3);
+    // ALS traffic also stays identity-free on the air.
+    EXPECT_EQ(r.invariants.violations(), 0u);
 }
 
 TEST(Scenario, RealCryptoScenarioEndToEnd) {

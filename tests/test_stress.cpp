@@ -149,6 +149,8 @@ TEST(Stress, SaturatingTrafficDoesNotWedge) {
     EXPECT_GT(r.app_sent, 5000u);
     EXPECT_GT(r.delivery_fraction, 0.0);  // something still gets through
     EXPECT_LT(r.delivery_fraction, 1.0);  // and the overload is visible
+    // Even under 12x overload the protocol never violates its invariants.
+    EXPECT_EQ(r.invariants.violations(), 0u);
 }
 
 TEST(Stress, HighMobilityNoPauseRuns) {
@@ -164,6 +166,8 @@ TEST(Stress, HighMobilityNoPauseRuns) {
     EXPECT_GT(r.app_sent, 0u);
     // Extreme churn hurts but must not zero out delivery entirely.
     EXPECT_GT(r.delivery_fraction, 0.2);
+    // Mobility churn stresses ANT freshness; the invariants must still hold.
+    EXPECT_EQ(r.invariants.violations(), 0u);
 }
 
 TEST(Stress, TinyRadioRangeMostlyPartitions) {
@@ -177,6 +181,7 @@ TEST(Stress, TinyRadioRangeMostlyPartitions) {
     const auto r = workload::ScenarioRunner(cfg).run();
     EXPECT_LT(r.delivery_fraction, 0.5);
     EXPECT_GT(r.drop_no_route + r.drop_unreachable, 0u);
+    EXPECT_EQ(r.invariants.violations(), 0u);
 }
 
 }  // namespace

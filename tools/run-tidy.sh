@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Run clang-tidy (config: .clang-tidy at the repo root) over the library
+# sources, using the compile database from a configured build tree.
+#
+# Usage:
+#   tools/run-tidy.sh [build-dir] [-- extra clang-tidy args]
+#
+# The build dir defaults to ./build and must contain compile_commands.json
+# (the top-level CMakeLists sets CMAKE_EXPORT_COMPILE_COMMANDS).
+#
+# Exits 0 with a notice when clang-tidy is not installed, so the same script
+# is safe to call from environments that only ship GCC (the sanitizer CI leg,
+# the dev container); the dedicated CI job installs clang-tidy and gets the
+# real run. Any warning is an error (.clang-tidy sets WarningsAsErrors: '*').
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="build"
+if [[ $# -gt 0 && "$1" != "--" ]]; then
+  BUILD_DIR="$1"
+  shift
+fi
+[[ $# -gt 0 && "$1" == "--" ]] && shift
+
+TIDY="${CLANG_TIDY:-}"
+if [[ -z "$TIDY" ]]; then
+  for cand in clang-tidy clang-tidy-19 clang-tidy-18 clang-tidy-17 clang-tidy-16 clang-tidy-15 clang-tidy-14; do
+    if command -v "$cand" > /dev/null 2>&1; then
+      TIDY="$cand"
+      break
+    fi
+  done
+fi
+if [[ -z "$TIDY" ]]; then
+  echo "run-tidy: clang-tidy not found on PATH; skipping (install clang-tidy or set CLANG_TIDY)." >&2
+  exit 0
+fi
+
+DB="$BUILD_DIR/compile_commands.json"
+if [[ ! -f "$DB" ]]; then
+  echo "run-tidy: $DB not found. Configure first: cmake --preset default" >&2
+  exit 2
+fi
+
+# Library + harness sources; generated and third-party code is excluded by
+# construction (everything we own lives under src/, fuzz/, examples/).
+mapfile -t FILES < <(find src fuzz examples -name '*.cpp' | sort)
+
+echo "run-tidy: $TIDY over ${#FILES[@]} files (db: $DB)"
+FAILED=0
+for f in "${FILES[@]}"; do
+  if ! "$TIDY" -p "$BUILD_DIR" --quiet "$@" "$f"; then
+    echo "run-tidy: FAILED $f" >&2
+    FAILED=1
+  fi
+done
+
+if [[ "$FAILED" -ne 0 ]]; then
+  echo "run-tidy: issues found (see above)." >&2
+  exit 1
+fi
+echo "run-tidy: clean."
