@@ -1,0 +1,74 @@
+// Resilience under node churn — packet delivery vs fraction of the network
+// held down by a crash/recover process.
+//
+// Not a paper figure: the paper's §5 runs assume a fault-free network. This
+// bench quantifies how gracefully AGFW-with-ACK degrades when nodes silently
+// halt and return with wiped state, which exercises the ANT silence purge,
+// the NL-ACK blacklist/reroute machinery, and recovery re-warming.
+
+#include "bench_common.hpp"
+#include "fault/fault.hpp"
+
+using namespace geoanon;
+
+namespace {
+
+/// Churn plan sized to hold roughly `down_fraction` of the network down in
+/// steady state: arrivals at rate cap/mean_downtime saturate the cap.
+fault::FaultPlan churn_plan(std::size_t num_nodes, double down_fraction,
+                            double seconds) {
+    fault::FaultPlan plan;
+    plan.seed = 77;
+    if (down_fraction <= 0.0) return plan;
+    fault::FaultPlan::Churn churn;
+    churn.min_down = util::SimTime::seconds(5.0);
+    churn.max_down = util::SimTime::seconds(20.0);
+    churn.max_concurrent_down =
+        static_cast<int>(static_cast<double>(num_nodes) * down_fraction + 0.5);
+    // Mean downtime 12.5 s; drive arrivals ~2x the refill rate so the cap,
+    // not the arrival process, sets the steady-state down fraction.
+    churn.crash_rate_per_s = 2.0 * churn.max_concurrent_down / 12.5;
+    churn.start = util::SimTime::seconds(15.0);
+    churn.stop = util::SimTime::seconds(seconds - 20.0);
+    plan.churn = churn;
+    return plan;
+}
+
+}  // namespace
+
+int main() {
+    const double seconds = bench::sim_seconds(200.0);
+    const int seeds = bench::seed_count(2);
+    bench::print_banner("Resilience: AGFW-ACK delivery vs node churn", seconds,
+                        seeds);
+
+    const std::vector<double> fractions{0.0, 0.10, 0.20, 0.30};
+    util::TablePrinter table({"churn%", "pdr", "lat-ms", "crashes", "recov-p95-s"});
+
+    for (double f : fractions) {
+        util::RunningStat pdr, lat, crashes, p95;
+        for (int s = 0; s < seeds; ++s) {
+            auto cfg = bench::paper_scenario(
+                workload::Scheme::kAgfwAck, 50, seconds,
+                2000 + static_cast<std::uint64_t>(s));
+            cfg.faults = churn_plan(cfg.num_nodes, f, seconds);
+            const auto r = workload::ScenarioRunner(cfg).run();
+            pdr.add(r.delivery_fraction);
+            lat.add(r.avg_latency_ms);
+            crashes.add(static_cast<double>(r.resilience.node_crashes));
+            p95.add(r.resilience.recovery_latency_p95_s);
+        }
+        table.row()
+            .cell(static_cast<long long>(f * 100.0 + 0.5))
+            .cell(pdr.mean(), 3)
+            .cell(lat.mean(), 1)
+            .cell(crashes.mean(), 1)
+            .cell(p95.mean(), 2);
+    }
+    table.print();
+
+    std::printf(
+        "\nExpected shape: delivery declines smoothly with churn (no cliff);\n"
+        "recovery p95 stays within a few hello intervals of the downtime end.\n");
+    return 0;
+}

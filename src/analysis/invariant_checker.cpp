@@ -196,6 +196,9 @@ void InvariantChecker::sweep() {
     const SimTime purge_slack = params_.hello_interval * 2;
 
     for (const auto& node : network_.nodes()) {
+        // A crashed node runs no purge tick; its frozen table is not live
+        // protocol state (it is wiped on recovery) and is not audited.
+        if (!node->up()) continue;
         const auto* agent = as_agfw(*node);
         if (!agent) continue;
         for (const auto& e : agent->ant().entries()) {

@@ -18,6 +18,15 @@ using util::ByteWriter;
 using util::SimTime;
 
 namespace {
+/// Fill in the derived ANT silence window: k missed hello intervals plus
+/// the jitter bound, unless the caller pinned silence_timeout explicitly.
+AnonymousNeighborTable::Params ant_params_for(const AgfwAgent::Params& p) {
+    AnonymousNeighborTable::Params ap = p.ant;
+    if (ap.silence_timeout == SimTime::zero() && p.ant_silence_hellos > 0)
+        ap.silence_timeout = p.hello_interval * p.ant_silence_hellos + p.hello_jitter;
+    return ap;
+}
+
 /// Canonical byte encoding of the hello body — what the ring signature
 /// covers: ⟨HELLO, n, loc, ts⟩.
 util::Bytes hello_signing_bytes(const Packet& pkt) {
@@ -40,7 +49,7 @@ AgfwAgent::AgfwAgent(net::Node& node, Params params, crypto::CryptoEngine& engin
       locate_(std::move(locate)),
       deliver_(std::move(deliver)),
       pseudonyms_(engine, node.id(), node.rng()),
-      ant_(params.ant) {}
+      ant_(ant_params_for(params)) {}
 
 std::string AgfwAgent::name() const {
     return params_.use_net_ack ? "agfw-ack" : "agfw-noack";
@@ -66,6 +75,7 @@ void AgfwAgent::enable_location_service(routing::LocationService::Mode mode,
     hooks.charge = [this](SimTime cost, std::function<void()> done) {
         charge(cost, std::move(done));
     };
+    hooks.is_up = [this] { return node_.up(); };
     ls_ = std::make_unique<routing::LocationService>(mode, grid, ls_params,
                                                      std::move(hooks));
     ls_->set_contacts(std::move(contacts));
@@ -115,7 +125,26 @@ void AgfwAgent::start() {
 // ANT: hello beacons
 // ---------------------------------------------------------------------------
 
+void AgfwAgent::on_node_restart() {
+    // Reboot: every piece of volatile protocol state is gone. Cumulative
+    // stats survive — they model the experimenter's counters, not node RAM.
+    ant_.clear();
+    seen_.clear();
+    blacklist_.clear();
+    for (auto& [uid, p] : pending_) node_.sim().cancel(p.timer);
+    pending_.clear();
+    ack_batch_.clear();
+    if (ack_flush_event_ != sim::kInvalidEvent) {
+        node_.sim().cancel(ack_flush_event_);
+        ack_flush_event_ = sim::kInvalidEvent;
+    }
+    known_certs_.clear();
+    loc_cache_.clear();
+    if (ls_) ls_->reset();
+}
+
 void AgfwAgent::send_hello() {
+    if (!node_.up()) return;  // crashed: the hello timer keeps ticking idly
     purge_soft_state();
     ant_.purge(node_.sim().now());
 
@@ -218,6 +247,7 @@ void AgfwAgent::admit_hello(const PacketPtr& pkt) {
 
 void AgfwAgent::send_data(NodeId dst, net::FlowId flow, std::uint32_t seq,
                           net::Bytes body) {
+    if (!node_.up()) return;  // a crashed node originates nothing
     ++stats_.app_sent;
     auto proceed = [this, dst, flow, seq,
                     body = std::move(body)](std::optional<Vec2> loc) mutable {
@@ -274,6 +304,7 @@ void AgfwAgent::send_data(NodeId dst, net::FlowId flow, std::uint32_t seq,
 }
 
 void AgfwAgent::route_packet(std::shared_ptr<Packet> pkt) {
+    if (!node_.up()) return;  // e.g. an LS retry timer firing while down
     PacketPtr p(std::move(pkt));
     // The originator may itself be the responsible server / requester.
     if (ls_ && ls_->handle(p)) return;
@@ -519,6 +550,7 @@ void AgfwAgent::deliver_local(const PacketPtr& pkt) {
 }
 
 void AgfwAgent::on_packet(const PacketPtr& pkt, MacAddr /*src*/) {
+    if (!node_.up()) return;  // radio gates this too; belt and braces
     switch (pkt->type) {
         case net::PacketType::kAgfwHello:
             handle_hello(pkt);

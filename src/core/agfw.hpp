@@ -41,6 +41,13 @@ class AgfwAgent final : public net::RoutingAgent {
         util::SimTime hello_interval{util::SimTime::seconds(1.5)};
         util::SimTime hello_jitter{util::SimTime::seconds(0.5)};
         AnonymousNeighborTable::Params ant{};
+        /// ANT silence-based purge, in missed hello intervals: a neighbor
+        /// whose newest hello is older than this many intervals (plus the
+        /// jitter bound) is treated as crashed even if its announced entry
+        /// lifetime has not elapsed. Matches §3.1.1's rule that only a
+        /// node's two latest pseudonyms are answered. 0 disables; ignored
+        /// when ant.silence_timeout is set explicitly.
+        int ant_silence_hellos{2};
 
         /// false reproduces the paper's "simple form of AGFW with no packet
         /// acknowledgment" curve.
@@ -134,6 +141,7 @@ class AgfwAgent final : public net::RoutingAgent {
     void send_data(NodeId dst, net::FlowId flow, std::uint32_t seq, net::Bytes body) override;
     void on_packet(const PacketPtr& pkt, MacAddr src) override;
     void on_mac_tx_done(const PacketPtr& pkt, MacAddr dst, bool success) override;
+    void on_node_restart() override;
     std::string name() const override;
 
     /// Geo-route an already-built packet toward pkt->dst_loc (location

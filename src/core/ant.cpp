@@ -23,7 +23,7 @@ void AnonymousNeighborTable::insert(const Entry& e) {
 }
 
 void AnonymousNeighborTable::purge(SimTime now) {
-    std::erase_if(entries_, [now](const Entry& e) { return e.expires <= now; });
+    std::erase_if(entries_, [this, now](const Entry& e) { return stale(e, now); });
 }
 
 void AnonymousNeighborTable::erase(Pseudonym n) {
@@ -44,7 +44,7 @@ std::optional<AnonymousNeighborTable::Entry> AnonymousNeighborTable::best_next_h
     double best_score = my_dist;  // must beat staying put
 
     for (const Entry& e : entries_) {
-        if (e.expires <= now) continue;
+        if (stale(e, now)) continue;
         if (std::find(exclude.begin(), exclude.end(), e.n) != exclude.end()) continue;
         const double age_s = std::max(0.0, (now - e.ts).to_seconds());
         const double d = util::distance(predicted_position(e, now), dst_loc);

@@ -41,6 +41,12 @@ class AnonymousNeighborTable {
         /// Dead-reckon entry positions with the velocity hint when present.
         bool use_velocity{true};
         std::size_t max_entries{256};
+        /// Silence-based purge: an entry whose hello is older than this is
+        /// treated as a dead neighbor regardless of its announced lifetime —
+        /// a node that stops beaconing (crash, jam, departure) must not be
+        /// selected for its full advertised ttl. Zero disables; AgfwAgent
+        /// derives it from k missed hello intervals when left at zero.
+        SimTime silence_timeout{};
     };
 
     explicit AnonymousNeighborTable(Params params) : params_(params) {}
@@ -55,6 +61,16 @@ class AnonymousNeighborTable {
     /// Remove every entry carrying pseudonym `n` (e.g. after repeated
     /// network-layer ACK failures to that pseudonym).
     void erase(Pseudonym n);
+
+    /// Drop every entry (node reboot: the table is volatile state).
+    void clear() { entries_.clear(); }
+
+    /// Entry expired — or silent past the silence window (see Params).
+    bool stale(const Entry& e, SimTime now) const {
+        return e.expires <= now ||
+               (params_.silence_timeout > SimTime{} &&
+                now - e.ts >= params_.silence_timeout);
+    }
 
     /// Best next hop toward `dst_loc` per the freshness-aware greedy rule.
     /// Only entries making positive effective progress from `my_pos`

@@ -25,7 +25,36 @@ SimTime Mac80211::rts_nav(const net::PacketPtr& pkt) const {
            data_airtime(pkt) + params_.sifs + phy.airtime(params_.ack_bytes);
 }
 
+void Mac80211::set_enabled(bool enabled) {
+    if (enabled == enabled_) return;
+    enabled_ = enabled;
+    if (enabled) return;
+    // Crash semantics: lose the interface queue without notifying the
+    // network layer, abandon any exchange in progress, and forget the
+    // contention and dedup state a rebooted interface would not have.
+    queue_.clear();
+    if (access_event_ != sim::kInvalidEvent) {
+        sim_.cancel(access_event_);
+        access_event_ = sim::kInvalidEvent;
+    }
+    if (timeout_event_ != sim::kInvalidEvent) {
+        sim_.cancel(timeout_event_);
+        timeout_event_ = sim::kInvalidEvent;
+    }
+    if (nav_wake_event_ != sim::kInvalidEvent) {
+        sim_.cancel(nav_wake_event_);
+        nav_wake_event_ = sim::kInvalidEvent;
+    }
+    phase_ = Phase::kIdle;
+    cw_ = params_.cw_min;
+    backoff_slots_ = -1;
+    nav_until_ = SimTime{};
+    in_flight_ = phy::Frame{};
+    last_rx_seq_.clear();
+}
+
 bool Mac80211::enqueue(TxItem item) {
+    if (!enabled_) return false;
     if (queue_.size() >= params_.queue_limit) {
         ++stats_.drop_queue_full;
         if (tx_done_handler_) tx_done_handler_(item.pkt, item.dst, false);
@@ -226,6 +255,7 @@ void Mac80211::respond_after_sifs(Frame frame, Phase phase) {
 }
 
 void Mac80211::on_frame(const Frame& f) {
+    if (!enabled_) return;  // crashed interface (the radio gates this too)
     const bool for_me = f.dst == addr_;
     const bool broadcast = f.dst == net::kBroadcastAddr;
 

@@ -91,6 +91,12 @@ class Mac80211 {
     const MacStats& stats() const { return stats_; }
     std::size_t queue_length() const { return queue_.size(); }
 
+    /// Fault injection: disabling models a crashed interface — the queue is
+    /// flushed without tx-done notifications (silent halt), any exchange in
+    /// progress is abandoned, and sends are refused until re-enabled.
+    void set_enabled(bool enabled);
+    bool enabled() const { return enabled_; }
+
   private:
     enum class Phase {
         kIdle,      ///< no exchange in progress (may be contending)
@@ -141,6 +147,7 @@ class Mac80211 {
 
     std::deque<TxItem> queue_;
     Phase phase_{Phase::kIdle};
+    bool enabled_{true};
     int cw_;
     int backoff_slots_{-1};
     SimTime access_difs_end_{};        ///< when the DIFS of the pending access ends

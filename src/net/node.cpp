@@ -18,6 +18,19 @@ Node::Node(sim::Simulator& sim, phy::Channel& channel, NodeId id,
       radio_(sim, channel, [this] { return mobility_->position_at(sim_.now()); }),
       mac_(sim, radio_, mac_addr_for(id), mac_params, rng_.fork()) {}
 
+void Node::set_up(bool up) {
+    if (up == up_) return;
+    up_ = up;
+    if (!up) {
+        mac_.set_enabled(false);
+        radio_.set_enabled(false);
+    } else {
+        radio_.set_enabled(true);
+        mac_.set_enabled(true);
+        if (agent_) agent_->on_node_restart();
+    }
+}
+
 void Node::set_agent(std::unique_ptr<RoutingAgent> agent) {
     agent_ = std::move(agent);
     mac_.set_rx_handler(

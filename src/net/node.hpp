@@ -35,6 +35,11 @@ class RoutingAgent {
     /// MAC finished a transmission we requested (unicast: ACK outcome).
     virtual void on_mac_tx_done(const PacketPtr& pkt, MacAddr dst, bool success) = 0;
 
+    /// The node rebooted after a crash (fault injection): wipe all volatile
+    /// protocol state — neighbor tables, pending retransmissions, caches —
+    /// exactly what a real reboot loses. Cumulative statistics survive.
+    virtual void on_node_restart() {}
+
     virtual std::string name() const = 0;
 };
 
@@ -47,7 +52,14 @@ class Node {
 
     NodeId id() const { return id_; }
     MacAddr mac_addr() const { return mac_.address(); }
-    util::Vec2 position() const { return mobility_->position_at(sim_.now()); }
+    /// The position the node *believes* (its GPS fix): true position plus
+    /// the injected GPS error, when one is set. The radio always uses the
+    /// true physical position (see the constructor).
+    util::Vec2 position() const {
+        const util::Vec2 p = mobility_->position_at(sim_.now());
+        return gps_error_ ? p + gps_error_(sim_.now()) : p;
+    }
+    util::Vec2 true_position() const { return mobility_->position_at(sim_.now()); }
     util::Vec2 velocity() const { return mobility_->velocity_at(sim_.now()); }
 
     sim::Simulator& sim() { return sim_; }
@@ -61,6 +73,18 @@ class Node {
     RoutingAgent& agent() { return *agent_; }
     bool has_agent() const { return agent_ != nullptr; }
 
+    /// Crash / recover (fault injection). Down: the MAC flushes its queue
+    /// and refuses sends, the radio decodes nothing — a silent halt; the
+    /// node keeps moving (a rebooting device still moves). Up again: the
+    /// agent's volatile state is wiped via on_node_restart().
+    void set_up(bool up);
+    bool up() const { return up_; }
+
+    /// GPS error model (fault injection): offset added to position() as a
+    /// function of the current time; nullptr restores perfect fixes.
+    using GpsErrorFn = std::function<util::Vec2(util::SimTime)>;
+    void set_gps_error(GpsErrorFn fn) { gps_error_ = std::move(fn); }
+
   private:
     sim::Simulator& sim_;
     NodeId id_;
@@ -69,6 +93,8 @@ class Node {
     phy::Radio radio_;
     mac::Mac80211 mac_;
     std::unique_ptr<RoutingAgent> agent_;
+    GpsErrorFn gps_error_;
+    bool up_{true};
 };
 
 }  // namespace geoanon::net

@@ -76,9 +76,13 @@ void Radio::energy_end(std::uint64_t tx_id) {
         Frame frame = std::move(it->second.frame);
         receptions_.erase(it);
         if (ok) {
-            ++stats_.frames_delivered;
-            channel_.note_delivery();
-            if (on_rx_) on_rx_(frame);
+            if (!enabled_) {
+                ++stats_.frames_missed_down;
+            } else {
+                ++stats_.frames_delivered;
+                channel_.note_delivery();
+                if (on_rx_) on_rx_(frame);
+            }
         }
     }
     if (energy_count_ == 0 && on_idle_) on_idle_();
@@ -98,10 +102,16 @@ void Channel::start_tx(Radio* sender, const Frame& frame) {
     std::vector<Radio*> affected;
     for (Radio* r : radios_) {
         if (r == sender) continue;
-        const double d = util::distance(sender_pos, r->position());
+        const Vec2 rx_pos = r->position();
+        const double d = util::distance(sender_pos, rx_pos);
         if (d <= params_.cs_range_m) {
+            bool decodable = d <= params_.range_m;
+            if (decodable && drop_ && drop_(frame, sender_pos, rx_pos)) {
+                decodable = false;
+                ++stats_.impaired;
+            }
             affected.push_back(r);
-            r->energy_start(tx_id, d <= params_.range_m, frame);
+            r->energy_start(tx_id, decodable, frame);
         }
     }
 

@@ -59,6 +59,7 @@ class Radio {
         std::uint64_t frames_sent{0};
         std::uint64_t frames_delivered{0};   ///< received intact
         std::uint64_t frames_corrupted{0};   ///< lost to collision at this radio
+        std::uint64_t frames_missed_down{0}; ///< intact but radio was disabled
     };
 
     Radio(sim::Simulator& sim, Channel& channel, PositionFn position);
@@ -77,6 +78,13 @@ class Radio {
     bool transmitting() const { return transmitting_; }
     /// Physical carrier sense: any energy (including own transmission).
     bool energy_busy() const { return energy_count_ > 0; }
+
+    /// Fault injection: a disabled radio decodes nothing (intact frames are
+    /// counted as frames_missed_down instead of delivered). Energy
+    /// bookkeeping continues so channel end-events and carrier-sense state
+    /// stay consistent across a crash/recover cycle.
+    void set_enabled(bool enabled) { enabled_ = enabled; }
+    bool enabled() const { return enabled_; }
 
     Vec2 position() const { return position_(); }
     const Stats& stats() const { return stats_; }
@@ -105,6 +113,7 @@ class Radio {
 
     int energy_count_{0};
     bool transmitting_{false};
+    bool enabled_{true};
     std::unordered_map<std::uint64_t, Reception> receptions_;
     Stats stats_;
 };
@@ -121,6 +130,7 @@ class Channel {
         std::uint64_t transmissions{0};
         std::uint64_t deliveries{0};
         std::uint64_t collisions{0};  ///< corrupted receptions, all radios
+        std::uint64_t impaired{0};    ///< in-range receptions killed by the drop model
     };
 
     Channel(sim::Simulator& sim, PhyParams params) : sim_(sim), params_(params) {}
@@ -139,6 +149,13 @@ class Channel {
     void set_snoop(SnoopFn snoop) { snoop_ = std::move(snoop); }
     void add_snoop(SnoopFn snoop) { taps_.push_back(std::move(snoop)); }
 
+    /// Receiver-side impairment model (fault injection): return true to make
+    /// the frame undecodable at a receiver located at rx_pos. The frame's
+    /// energy still occupies the medium there, so carrier sensing, NAV and
+    /// collision physics are unaffected — only decoding fails.
+    using DropFn = std::function<bool(const Frame&, const Vec2& tx_pos, const Vec2& rx_pos)>;
+    void set_drop_model(DropFn drop) { drop_ = std::move(drop); }
+
   private:
     friend class Radio;
 
@@ -154,6 +171,7 @@ class Channel {
     std::uint64_t next_tx_id_{1};
     SnoopFn snoop_;
     std::vector<SnoopFn> taps_;
+    DropFn drop_;
 };
 
 }  // namespace geoanon::phy

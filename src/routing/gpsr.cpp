@@ -26,6 +26,7 @@ void GpsrGreedyAgent::enable_location_service(GridMap grid,
     hooks.charge = [this](util::SimTime cost, std::function<void()> done) {
         node_.sim().after(cost, std::move(done));
     };
+    hooks.is_up = [this] { return node_.up(); };
     ls_ = std::make_unique<LocationService>(LocationService::Mode::kPlain, grid,
                                             ls_params, std::move(hooks));
 }
@@ -38,7 +39,15 @@ void GpsrGreedyAgent::start() {
     if (ls_) ls_->start();
 }
 
+void GpsrGreedyAgent::on_node_restart() {
+    neighbors_.clear();
+    reroute_counts_.clear();
+    loc_cache_.clear();
+    if (ls_) ls_->reset();
+}
+
 void GpsrGreedyAgent::send_hello() {
+    if (!node_.up()) return;  // crashed: the hello timer keeps ticking idly
     purge_neighbors();
     auto pkt = std::make_shared<Packet>();
     pkt->type = net::PacketType::kGpsrHello;
@@ -80,6 +89,7 @@ const GpsrGreedyAgent::Neighbor* GpsrGreedyAgent::best_neighbor(
 
 void GpsrGreedyAgent::send_data(NodeId dst, net::FlowId flow, std::uint32_t seq,
                                 net::Bytes body) {
+    if (!node_.up()) return;  // a crashed node originates nothing
     ++stats_.app_sent;
     auto send_with_loc = [this, dst, flow, seq,
                           body = std::move(body)](std::optional<Vec2> loc) mutable {
@@ -141,6 +151,7 @@ void GpsrGreedyAgent::deliver_local(const PacketPtr& pkt) {
 }
 
 void GpsrGreedyAgent::forward(const PacketPtr& pkt) {
+    if (!node_.up()) return;  // e.g. an LS retry timer firing while down
     if (pkt->type == net::PacketType::kGpsrData && pkt->dst_id == node_.id()) {
         deliver_local(pkt);
         return;
@@ -164,6 +175,7 @@ void GpsrGreedyAgent::forward(const PacketPtr& pkt) {
 }
 
 void GpsrGreedyAgent::on_packet(const PacketPtr& pkt, MacAddr src) {
+    if (!node_.up()) return;  // radio gates this too; belt and braces
     switch (pkt->type) {
         case net::PacketType::kGpsrHello:
             neighbors_[pkt->src_id] = Neighbor{pkt->hello_loc, src, node_.sim().now()};

@@ -64,6 +64,7 @@ class GpsrGreedyAgent final : public net::RoutingAgent {
     void send_data(NodeId dst, net::FlowId flow, std::uint32_t seq, net::Bytes body) override;
     void on_packet(const PacketPtr& pkt, MacAddr src) override;
     void on_mac_tx_done(const PacketPtr& pkt, MacAddr dst, bool success) override;
+    void on_node_restart() override;
     std::string name() const override { return "gpsr-greedy"; }
 
     /// Geo-route an already-built packet toward pkt->dst_loc (used by the

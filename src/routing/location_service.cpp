@@ -40,7 +40,16 @@ void LocationService::start() {
                         [this] { send_update(); });
 }
 
+void LocationService::reset() {
+    plain_store_.clear();
+    anon_store_.clear();
+    stats_.pending_wiped += pending_.size();
+    for (auto& [qid, q] : pending_) hooks_.sim->cancel(q.timeout);
+    pending_.clear();
+}
+
 void LocationService::send_update() {
+    if (hooks_.is_up && !hooks_.is_up()) return;
     const NodeId me = hooks_.my_id;
     const util::Vec2 my_loc = hooks_.my_position();
     const std::uint32_t home = grid_.home_grid(me);
@@ -106,6 +115,7 @@ void LocationService::send_query(std::uint64_t qid) {
     auto it = pending_.find(qid);
     if (it == pending_.end()) return;
     PendingQuery& q = it->second;
+    if (q.attempts > 0 || q.fallback) ++stats_.query_reissues;
     ++q.attempts;
 
     auto pkt = std::make_shared<Packet>();
@@ -147,6 +157,7 @@ void LocationService::send_query(std::uint64_t qid) {
         if (!it2->second.fallback && can_fallback) {
             // §3.3 heterogeneous: the target may be running the other
             // service flavor. One more round in the other row format.
+            ++stats_.query_fallbacks;
             it2->second.fallback = true;
             it2->second.attempts = 0;
             send_query(qid);
@@ -190,6 +201,12 @@ bool LocationService::handle(const PacketPtr& pkt) {
                 (pkt->dst_id == hooks_.my_id || pkt->dst_id == net::kInvalidNode);
             if (mine) {
                 on_reply(pkt);
+                return true;
+            }
+            // Addressed to this node but the query is gone: it already timed
+            // out (or was wiped by a crash) — the reply merely arrived late.
+            if (pkt->dst_id == hooks_.my_id) {
+                ++stats_.late_replies;
                 return true;
             }
             // Plain replies addressed to someone else keep routing; assist

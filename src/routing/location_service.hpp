@@ -74,6 +74,9 @@ class LocationService {
         crypto::CryptoEngine* engine{nullptr};
         /// Charge a modeled CPU delay then run `done` (may run immediately).
         std::function<void(SimTime, std::function<void()>)> charge;
+        /// Host-node liveness; unset means always up. Periodic work (update
+        /// beacons) is suppressed while the node is down.
+        std::function<bool()> is_up;
     };
 
     struct Stats {
@@ -89,6 +92,13 @@ class LocationService {
         std::uint64_t resolved_ok{0};
         std::uint64_t resolved_fail{0};
         std::uint64_t decrypt_attempts{0};  ///< index-free trial decryptions
+        /// Timeout-path diagnostics: these separate "the reply got lost in
+        /// the network" (reissues with replies_sent > 0 somewhere) from "the
+        /// server grid is dark" (reissues with no reply traffic at all).
+        std::uint64_t query_reissues{0};   ///< timeout-driven re-sends
+        std::uint64_t query_fallbacks{0};  ///< heterogeneous-format rounds
+        std::uint64_t late_replies{0};     ///< reply for an already-closed query
+        std::uint64_t pending_wiped{0};    ///< queries dropped by reset()
     };
 
     LocationService(Mode mode, GridMap grid, Params params, Hooks hooks);
@@ -99,6 +109,11 @@ class LocationService {
 
     /// Begin periodic location updates.
     void start();
+
+    /// Node reboot: wipe volatile state — stored rows and in-flight queries
+    /// (their callbacks are dropped; the senders' own timeouts handle it).
+    /// Cumulative stats survive.
+    void reset();
 
     /// Resolve the location of `target`, asynchronously. The callback fires
     /// exactly once with the location or nullopt (timeout after retries).

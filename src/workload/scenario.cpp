@@ -44,6 +44,22 @@ void ScenarioRunner::setup() {
     build_nodes();
     build_traffic();
 
+    if (!config_.faults.empty()) {
+        injector_ = std::make_unique<fault::FaultInjector>(*network_, config_.faults);
+        // Recovery probe: the node's neighbor state has re-warmed (it can
+        // route again). Agent-specific because the tables differ.
+        injector_->set_recovered_probe([this](net::NodeId id) {
+            if (auto* a = agfw_agent(id)) return a->ant().size() > 0;
+            if (auto* g = gpsr_agent(id)) return g->neighbor_count() > 0;
+            return false;
+        });
+        const routing::GridMap grid(config_.area, config_.ls_cell_m);
+        injector_->set_home_center([grid](net::NodeId id) {
+            return grid.center_of(grid.home_grid(id));
+        });
+        injector_->arm();
+    }
+
     if (config_.check_invariants) {
         analysis::InvariantChecker::Params ip;
         ip.expect_anonymous = config_.scheme != Scheme::kGpsrGreedy;
@@ -198,6 +214,12 @@ void ScenarioRunner::build_traffic() {
         *holder = [this, f, gap_s, &sim, fn = holder.get()]() {
             Flow& flow = flows_[f];
             if (sim.now().to_seconds() > config_.traffic_stop_s) return;
+            if (!network_->node(flow.src).up()) {
+                // A crashed sender skips its slots (app offers no load while
+                // down) but the generator keeps ticking for its recovery.
+                sim.after(SimTime::seconds(gap_s), *fn);
+                return;
+            }
             net::Bytes body(config_.cbr_payload_bytes, 0xAB);
             const std::uint32_t seq = flow.next_seq++;
             ++sent_per_flow_[f];
@@ -284,6 +306,10 @@ ScenarioResult ScenarioRunner::aggregate() {
             r.ls.resolved_ok += l.resolved_ok;
             r.ls.resolved_fail += l.resolved_fail;
             r.ls.decrypt_attempts += l.decrypt_attempts;
+            r.ls.query_reissues += l.query_reissues;
+            r.ls.query_fallbacks += l.query_fallbacks;
+            r.ls.late_replies += l.late_replies;
+            r.ls.pending_wiped += l.pending_wiped;
         }
     }
     for (auto* g : gpsr_agents_) {
@@ -307,7 +333,27 @@ ScenarioResult ScenarioRunner::aggregate() {
             r.ls.store_misses += l.store_misses;
             r.ls.resolved_ok += l.resolved_ok;
             r.ls.resolved_fail += l.resolved_fail;
+            r.ls.query_reissues += l.query_reissues;
+            r.ls.query_fallbacks += l.query_fallbacks;
+            r.ls.late_replies += l.late_replies;
+            r.ls.pending_wiped += l.pending_wiped;
         }
+    }
+
+    if (injector_) {
+        const auto& fs = injector_->stats();
+        r.resilience.faults_injected = fs.faults_injected;
+        r.resilience.node_crashes = fs.node_crashes;
+        r.resilience.node_recoveries = fs.node_recoveries;
+        r.resilience.als_outages = fs.als_outages;
+        r.resilience.frames_lost_loss_burst = fs.frames_lost_loss_burst;
+        r.resilience.frames_lost_jam = fs.frames_lost_jam;
+        for (auto& node : network_->nodes())
+            r.resilience.frames_lost_node_down += node->radio().stats().frames_missed_down;
+        r.resilience.ls_pending_wiped = r.ls.pending_wiped;
+        r.resilience.recoveries_measured = fs.recovery_s.count();
+        r.resilience.recovery_latency_p50_s = fs.recovery_s.percentile(50);
+        r.resilience.recovery_latency_p95_s = fs.recovery_s.percentile(95);
     }
 
     if (eavesdropper_) r.adversary = eavesdropper_->report(config_.sim_seconds);

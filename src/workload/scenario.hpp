@@ -9,6 +9,7 @@
 #include "core/adversary.hpp"
 #include "core/agfw.hpp"
 #include "crypto/engine.hpp"
+#include "fault/fault.hpp"
 #include "mobility/mobility.hpp"
 #include "net/network.hpp"
 #include "routing/gpsr.hpp"
@@ -65,6 +66,10 @@ struct ScenarioConfig {
     double ls_cell_m{300.0};
     routing::LocationService::Params ls_params{};
 
+    /// Deterministic fault schedule (crashes, churn, loss bursts, jamming,
+    /// GPS error, ALS outages). Empty = no injector is attached at all.
+    fault::FaultPlan faults{};
+
     bool attach_eavesdropper{false};
     /// Run the protocol invariant checker alongside the scenario (passive;
     /// cannot change the outcome). Results land in ScenarioResult::invariants.
@@ -120,6 +125,26 @@ struct ScenarioResult {
     // Protocol invariant counters (when check_invariants is on)
     analysis::InvariantChecker::Counters invariants{};
 
+    /// Resilience counters (populated when config.faults is non-empty).
+    struct Resilience {
+        std::uint64_t faults_injected{0};
+        std::uint64_t node_crashes{0};
+        std::uint64_t node_recoveries{0};
+        std::uint64_t als_outages{0};
+        /// Packets lost per fault class. Node-down losses are frames that
+        /// reached a disabled radio; burst/jam losses are channel drops.
+        std::uint64_t frames_lost_node_down{0};
+        std::uint64_t frames_lost_loss_burst{0};
+        std::uint64_t frames_lost_jam{0};
+        std::uint64_t ls_pending_wiped{0};  ///< queries lost to requester crashes
+        /// Recovery latency: crash-end until the node's routing state is
+        /// warm again (agent probe). Censored samples are excluded.
+        std::uint64_t recoveries_measured{0};
+        double recovery_latency_p50_s{0.0};
+        double recovery_latency_p95_s{0.0};
+    };
+    Resilience resilience{};
+
     std::uint64_t events_processed{0};
 };
 
@@ -144,6 +169,9 @@ class ScenarioRunner {
     /// The attached invariant checker (nullptr when check_invariants is off
     /// or setup() has not run yet).
     analysis::InvariantChecker* invariant_checker() { return checker_.get(); }
+    /// The attached fault injector (nullptr when config.faults is empty or
+    /// setup() has not run yet).
+    fault::FaultInjector* fault_injector() { return injector_.get(); }
 
   private:
     struct Flow {
@@ -168,6 +196,7 @@ class ScenarioRunner {
     std::unique_ptr<net::Network> network_;
     std::unique_ptr<core::Eavesdropper> eavesdropper_;
     std::unique_ptr<analysis::InvariantChecker> checker_;
+    std::unique_ptr<fault::FaultInjector> injector_;
     std::vector<Flow> flows_;
     std::vector<core::AgfwAgent*> agfw_agents_;
     std::vector<routing::GpsrGreedyAgent*> gpsr_agents_;

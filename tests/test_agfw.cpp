@@ -358,6 +358,98 @@ TEST(Agfw, ImmediateAcksAreOnePerUid) {
     EXPECT_EQ(ack_packets, acked_uids);
 }
 
+TEST(Agfw, AckBackoffDoublesRetransmitGaps) {
+    // Source at 0, relay at 200 (the only forward option), destination at
+    // 500 — out of everyone's range, so crashing the relay starves the
+    // source of ACKs and its retransmit timer runs the full schedule.
+    AgfwAgent::Params params;
+    params.ack_backoff = true;
+    params.ack_timeout = 100_ms;
+    params.ack_retries = 3;
+    params.reroute_limit = 0;
+    AgfwNet net({{0, 0}, {200, 0}, {500, 0}}, params);
+    net.warm_up();
+
+    std::vector<double> tx_s;
+    net.network.channel().set_snoop([&](const phy::Frame& f, const Vec2&) {
+        if (f.payload && f.payload->type == net::PacketType::kAgfwData)
+            tx_s.push_back(net.network.sim().now().to_seconds());
+    });
+    net.network.node(1).set_up(false);  // silent crash: no ACK will ever come
+    net.network.sim().at(SimTime::seconds(5.5),
+                         [&] { net.agents[0]->send_data(2, 0, 0, {}); });
+    net.run_until(12);
+
+    // Initial copy + ack_retries rebroadcasts, then the reroute budget (0)
+    // is exhausted and the packet is dropped as unreachable.
+    ASSERT_EQ(tx_s.size(), 4u);
+    EXPECT_EQ(net.agents[0]->stats().retransmissions, 3u);
+    EXPECT_EQ(net.agents[0]->stats().drop_unreachable, 1u);
+    const double g1 = tx_s[1] - tx_s[0];
+    const double g2 = tx_s[2] - tx_s[1];
+    const double g3 = tx_s[3] - tx_s[2];
+    // Gaps follow ack_timeout * 2^attempts (plus sub-ms MAC access delay).
+    EXPECT_NEAR(g1, 0.1, 0.02);
+    EXPECT_NEAR(g2 / g1, 2.0, 0.3);
+    EXPECT_NEAR(g3 / g2, 2.0, 0.3);
+}
+
+TEST(Agfw, FixedTimeoutKeepsRetransmitGapsFlat) {
+    // Ablation twin of AckBackoffDoublesRetransmitGaps: with ack_backoff off
+    // every gap equals ack_timeout.
+    AgfwAgent::Params params;
+    params.ack_backoff = false;
+    params.ack_timeout = 100_ms;
+    params.ack_retries = 3;
+    params.reroute_limit = 0;
+    AgfwNet net({{0, 0}, {200, 0}, {500, 0}}, params);
+    net.warm_up();
+
+    std::vector<double> tx_s;
+    net.network.channel().set_snoop([&](const phy::Frame& f, const Vec2&) {
+        if (f.payload && f.payload->type == net::PacketType::kAgfwData)
+            tx_s.push_back(net.network.sim().now().to_seconds());
+    });
+    net.network.node(1).set_up(false);
+    net.network.sim().at(SimTime::seconds(5.5),
+                         [&] { net.agents[0]->send_data(2, 0, 0, {}); });
+    net.run_until(12);
+
+    ASSERT_EQ(tx_s.size(), 4u);
+    for (std::size_t i = 1; i < tx_s.size(); ++i)
+        EXPECT_NEAR(tx_s[i] - tx_s[i - 1], 0.1, 0.02);
+}
+
+TEST(Agfw, RerouteLimitExhaustionDropsUnreachable) {
+    // Three parallel relays all make progress toward the far destination;
+    // crash them all and the source must walk distinct next-hop pseudonyms
+    // until the reroute budget runs out.
+    AgfwAgent::Params params;
+    params.ack_retries = 0;       // every timeout goes straight to reroute
+    params.ack_timeout = 50_ms;
+    params.reroute_limit = 2;
+    AgfwNet net({{0, 0}, {200, 0}, {190, 60}, {190, -60}, {600, 0}}, params);
+    net.warm_up();
+
+    std::vector<std::uint64_t> next_hops;
+    net.network.channel().set_snoop([&](const phy::Frame& f, const Vec2&) {
+        if (f.payload && f.payload->type == net::PacketType::kAgfwData)
+            next_hops.push_back(f.payload->next_hop_pseudonym);
+    });
+    for (NodeId relay : {1u, 2u, 3u}) net.network.node(relay).set_up(false);
+    net.network.sim().at(SimTime::seconds(5.5),
+                         [&] { net.agents[0]->send_data(4, 0, 0, {}); });
+    net.run_until(12);
+
+    // Initial attempt + reroute_limit alternates, each to a fresh pseudonym.
+    ASSERT_EQ(next_hops.size(), 3u);
+    EXPECT_NE(next_hops[0], next_hops[1]);
+    EXPECT_NE(next_hops[1], next_hops[2]);
+    EXPECT_NE(next_hops[0], next_hops[2]);
+    EXPECT_EQ(net.agents[0]->stats().drop_unreachable, 1u);
+    EXPECT_TRUE(net.deliveries.empty());
+}
+
 TEST(Agfw, HopCountReflectsPath) {
     AgfwNet net({{0, 0}, {200, 0}, {400, 0}, {600, 0}, {800, 0}});
     net.warm_up();

@@ -193,6 +193,44 @@ TEST(PseudonymManager, NeverClaimsLastAttemptMarker) {
     }
 }
 
+TEST(Ant, SilentEntryNotSelectedBeforeAnnouncedExpiry) {
+    // A neighbor that stops beaconing must not be chosen for its full
+    // advertised lifetime: the silence window cuts it off early.
+    AnonymousNeighborTable::Params p = no_penalty();
+    p.silence_timeout = SimTime::seconds(3.5);
+    AnonymousNeighborTable ant(p);
+    ant.insert(entry(1, {100, 0}, 0, /*expires_s=*/30));  // long announced ttl
+    // Inside the silence window the entry is usable...
+    EXPECT_TRUE(ant.best_next_hop({0, 0}, {300, 0}, SimTime::seconds(3)).has_value());
+    // ...past it the entry is dead even though expires is far away.
+    EXPECT_EQ(ant.best_next_hop({0, 0}, {300, 0}, SimTime::seconds(4)), std::nullopt);
+    ant.purge(SimTime::seconds(4));
+    EXPECT_EQ(ant.size(), 0u);
+}
+
+TEST(Ant, SilenceWindowRefreshedByNewerHello) {
+    AnonymousNeighborTable::Params p = no_penalty();
+    p.silence_timeout = SimTime::seconds(3.5);
+    AnonymousNeighborTable ant(p);
+    ant.insert(entry(1, {100, 0}, 0, 30));
+    ant.insert(entry(1, {110, 0}, 3, 30));  // fresh hello, same pseudonym
+    EXPECT_TRUE(ant.best_next_hop({0, 0}, {300, 0}, SimTime::seconds(5)).has_value());
+}
+
+TEST(Ant, ZeroSilenceTimeoutDisablesPurge) {
+    AnonymousNeighborTable ant(no_penalty());  // silence_timeout defaults to 0
+    ant.insert(entry(1, {100, 0}, 0, 30));
+    EXPECT_TRUE(ant.best_next_hop({0, 0}, {300, 0}, SimTime::seconds(29)).has_value());
+}
+
+TEST(Ant, ClearDropsEverything) {
+    AnonymousNeighborTable ant(no_penalty());
+    ant.insert(entry(1, {10, 0}, 0, 10));
+    ant.insert(entry(2, {20, 0}, 0, 10));
+    ant.clear();
+    EXPECT_EQ(ant.size(), 0u);
+}
+
 TEST(PseudonymManager, PseudonymsChangePerRotation) {
     crypto::ModeledCryptoEngine engine(1, 256);
     engine.register_node(5);

@@ -340,4 +340,161 @@ TEST(Dlm, QueryTimesOutWhenServersEmpty) {
     EXPECT_FALSE(resolved.has_value());
 }
 
+// ------------------------------------------ query-timeout / failover paths
+
+/// Line topology placed relative to the target's home-grid center C so the
+/// server role is fully controlled:
+///
+///   Q (requester)  C+(-400, 40)      node 0
+///   relay          C+(-300, 0)       node 1
+///   relay          C+(-200, 10)      node 2
+///   R (replica)    C+(-100, 0)       node 3
+///   S (server)     C                 node 4   — the only node within
+///                                               server_radius (60 m) of C
+///   T (target)     C+(-400, 0)       node 5
+///
+/// T's updates route T→2→3→4; S stores the row and (when replication is on)
+/// its one-hop replicate reaches R. update_interval is huge so exactly one
+/// update round happens and the fault timing stays deterministic.
+struct FailoverRig {
+    explicit FailoverRig(LocationService::Params lsp)
+        : network(phy::PhyParams{}, 41) {
+        engine = std::make_unique<crypto::ModeledCryptoEngine>(5, 512);
+        const GridMap grid(mobility::Area{1500, 300}, 300.0);
+        const Vec2 c = grid.center_of(grid.home_grid(5));
+        const std::vector<Vec2> positions = {
+            c + Vec2{-400, 40}, c + Vec2{-300, 0}, c + Vec2{-200, 10},
+            c + Vec2{-100, 0},  c + Vec2{0, 0},    c + Vec2{-400, 0}};
+
+        std::vector<crypto::NodeIdNum> universe;
+        for (std::size_t i = 0; i < positions.size(); ++i) {
+            engine->register_node(i);
+            universe.push_back(i);
+        }
+        mac::MacParams mp;
+        mp.use_rtscts = false;
+        mp.anonymous_source = true;
+        for (const Vec2& pos : positions) {
+            net::Node& node = network.add_node(
+                std::make_unique<mobility::StationaryMobility>(pos), mp);
+            auto agent = std::make_unique<AgfwAgent>(
+                node, AgfwAgent::Params{}, *engine, universe,
+                [](NodeId) -> std::optional<Vec2> { return std::nullopt; }, nullptr);
+            // Only the target beacons updates, anticipating requester Q.
+            const std::vector<NodeId> contacts =
+                node.id() == 5 ? std::vector<NodeId>{0} : std::vector<NodeId>{};
+            agent->enable_location_service(LocationService::Mode::kAnonymous, grid,
+                                           lsp, contacts);
+            agents.push_back(agent.get());
+            node.set_agent(std::move(agent));
+        }
+        network.start_agents();
+    }
+
+    std::uint64_t total_replies_sent() const {
+        std::uint64_t n = 0;
+        for (auto* a : agents) n += a->location_service()->stats().replies_sent;
+        return n;
+    }
+
+    void run_until(double seconds) {
+        network.sim().run_until(SimTime::seconds(seconds));
+    }
+
+    net::Network network;
+    std::unique_ptr<crypto::CryptoEngine> engine;
+    std::vector<AgfwAgent*> agents;
+};
+
+LocationService::Params one_shot_update_params() {
+    LocationService::Params lsp;
+    lsp.update_interval = SimTime::seconds(1000.0);  // exactly one round
+    lsp.server_radius_m = 60.0;
+    return lsp;
+}
+
+TEST(Als, LostRepliesReissueQueryThenFail) {
+    // Replies vanish in the network but the server grid is healthy: the
+    // requester must re-issue on timeout and eventually fail — while the
+    // server-side reply counter shows the grid did answer.
+    FailoverRig rig(one_shot_update_params());
+    rig.run_until(10.0);  // the single update round is stored by now
+    rig.network.channel().set_drop_model(
+        [](const phy::Frame& f, const Vec2&, const Vec2&) {
+            return f.payload && f.payload->type == net::PacketType::kLocReply;
+        });
+
+    bool called = false;
+    std::optional<Vec2> resolved;
+    rig.agents[0]->location_service()->resolve(5, [&](auto loc) {
+        called = true;
+        resolved = loc;
+    });
+    rig.run_until(35.0);
+
+    ASSERT_TRUE(called);
+    EXPECT_FALSE(resolved.has_value());
+    EXPECT_GT(rig.total_replies_sent(), 0u);  // the grid answered...
+    const auto& qs = rig.agents[0]->location_service()->stats();
+    EXPECT_GE(qs.query_reissues, 1u);         // ...but every reply was lost
+    EXPECT_GE(qs.query_fallbacks, 1u);
+    EXPECT_EQ(qs.resolved_fail, 1u);
+}
+
+TEST(Als, DarkServerGridFailsWithNoReplyTraffic) {
+    // Crash the server after the update round with replication off: rows are
+    // gone from the network entirely, so reissues see zero reply traffic —
+    // the distinct signature of "server gone" vs "reply lost".
+    LocationService::Params lsp = one_shot_update_params();
+    lsp.replicate = false;
+    FailoverRig rig(lsp);
+    rig.run_until(10.0);
+    rig.network.node(4).set_up(false);
+    const std::uint64_t replies_before = rig.total_replies_sent();
+
+    bool called = false;
+    std::optional<Vec2> resolved;
+    rig.network.sim().at(SimTime::seconds(14.0), [&] {
+        rig.agents[0]->location_service()->resolve(5, [&](auto loc) {
+            called = true;
+            resolved = loc;
+        });
+    });
+    rig.run_until(40.0);
+
+    ASSERT_TRUE(called);
+    EXPECT_FALSE(resolved.has_value());
+    EXPECT_EQ(rig.total_replies_sent(), replies_before);  // nobody answered
+    const auto& qs = rig.agents[0]->location_service()->stats();
+    EXPECT_GE(qs.query_reissues, 1u);
+    EXPECT_EQ(qs.resolved_fail, 1u);
+}
+
+TEST(Als, ReplicaServesWhenPrimaryServerCrashes) {
+    // With replication on, the row survives at R: the query gets stuck short
+    // of the dead server and R's serve-on-stuck answers from the replica.
+    FailoverRig rig(one_shot_update_params());
+    rig.run_until(10.0);
+    ASSERT_GT(rig.agents[3]->location_service()->store_size(), 0u);  // replica
+    rig.network.node(4).set_up(false);
+
+    bool called = false;
+    std::optional<Vec2> resolved;
+    // Resolve after the ANT silence window so greedy no longer offers the
+    // crashed server as a next hop.
+    rig.network.sim().at(SimTime::seconds(16.0), [&] {
+        rig.agents[0]->location_service()->resolve(5, [&](auto loc) {
+            called = true;
+            resolved = loc;
+        });
+    });
+    rig.run_until(40.0);
+
+    ASSERT_TRUE(called);
+    ASSERT_TRUE(resolved.has_value());
+    EXPECT_NEAR(resolved->x, rig.network.true_position(5).x, 1.0);
+    EXPECT_NEAR(resolved->y, rig.network.true_position(5).y, 1.0);
+    EXPECT_EQ(rig.agents[0]->location_service()->stats().resolved_ok, 1u);
+}
+
 }  // namespace
