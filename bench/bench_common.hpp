@@ -2,6 +2,13 @@
 
 // Shared helpers for the figure/table reproduction benches.
 //
+// Every sweep bench accepts the unified flags:
+//   --jobs=N      - run N scenario workers in parallel (results are merged
+//                   in spec order, so output is byte-identical for any N)
+//   --json=PATH   - also emit the sweep as the common BENCH_*.json schema
+//   --perf        - include wall-clock/events-per-sec in the JSON (breaks
+//                   byte-identity across machines; off by default)
+//
 // Runtime knobs (environment):
 //   GEOANON_FULL=1           - run the paper's full 900 s simulations
 //   GEOANON_SIM_SECONDS=<s>  - override simulated seconds explicitly
@@ -12,6 +19,9 @@
 #include <string>
 #include <vector>
 
+#include "experiment/json.hpp"
+#include "experiment/sweep.hpp"
+#include "util/cli.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 #include "workload/scenario.hpp"
@@ -45,27 +55,28 @@ inline workload::ScenarioConfig paper_scenario(workload::Scheme scheme,
     return cfg;
 }
 
-/// Mean result over several seeds (delivery fraction and latency).
-struct SweepPoint {
-    util::RunningStat delivery;
-    util::RunningStat latency_ms;
-    util::RunningStat p95_ms;
-    util::RunningStat hops;
-};
+inline std::size_t jobs_arg(const util::CliArgs& args) {
+    return static_cast<std::size_t>(args.get("jobs", std::int64_t{1}));
+}
 
-inline SweepPoint run_seeds(workload::Scheme scheme, std::size_t nodes, double seconds,
-                            int seeds) {
-    SweepPoint pt;
-    for (int s = 0; s < seeds; ++s) {
-        workload::ScenarioRunner runner(
-            paper_scenario(scheme, nodes, seconds, 1000 + static_cast<std::uint64_t>(s)));
-        const auto r = runner.run();
-        pt.delivery.add(r.delivery_fraction);
-        pt.latency_ms.add(r.avg_latency_ms);
-        pt.p95_ms.add(r.p95_latency_ms);
-        pt.hops.add(r.avg_hops);
-    }
-    return pt;
+/// Execute a sweep with the unified --jobs flag.
+inline std::vector<experiment::PointRecord> run_sweep(const experiment::SweepSpec& spec,
+                                                      const util::CliArgs& args) {
+    experiment::SweepRunner::Options opt;
+    opt.jobs = jobs_arg(args);
+    return experiment::SweepRunner(spec, opt).run();
+}
+
+/// Honor --json=PATH (and --perf) by writing the common sweep schema.
+inline void maybe_write_json(const util::CliArgs& args, const std::string& bench_name,
+                             const experiment::SweepSpec& spec,
+                             const std::vector<experiment::PointRecord>& points) {
+    if (!args.has("json")) return;
+    const std::string path = args.get("json", std::string{});
+    const bool perf = args.get("perf", false);
+    if (experiment::write_text_file(
+            path, experiment::sweep_to_json(bench_name, spec, points, perf)))
+        std::printf("\nwrote %s\n", path.c_str());
 }
 
 inline void print_banner(const char* title, double seconds, int seeds) {

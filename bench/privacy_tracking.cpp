@@ -11,44 +11,36 @@
 
 using namespace geoanon;
 
-namespace {
-
-workload::ScenarioResult run_case(workload::Scheme scheme, bool anonymous_mac,
-                                  double seconds) {
-    workload::ScenarioConfig cfg = bench::paper_scenario(scheme, 50, seconds, 11);
-    cfg.attach_eavesdropper = true;
-    cfg.anonymous_mac = anonymous_mac;
-    workload::ScenarioRunner runner(cfg);
-    return runner.run();
-}
-
-}  // namespace
-
-int main() {
+int main(int argc, char** argv) {
+    const util::CliArgs args(argc, argv);
     const double seconds = bench::sim_seconds(300.0);
     std::printf("Privacy under a passive global eavesdropper (50 nodes, %.0f s)\n", seconds);
     std::printf("identity sighting = (identity handle, location) pair observed\n");
     std::printf("coverage = mean fraction of 10 s windows a node is localized in\n\n");
 
-    struct Case {
-        const char* name;
-        workload::Scheme scheme;
-        bool anon_mac;
-    };
-    const Case cases[] = {
-        {"gpsr-greedy", workload::Scheme::kGpsrGreedy, true},
-        {"agfw-ack", workload::Scheme::kAgfwAck, true},
-        {"agfw-ack + MAC leak", workload::Scheme::kAgfwAck, false},
-    };
+    experiment::SweepSpec spec;
+    spec.base = bench::paper_scenario(workload::Scheme::kGpsrGreedy, 50, seconds, 1);
+    spec.base.attach_eavesdropper = true;
+    spec.axes = {experiment::Axis::variants(
+        "privacy_case", {"gpsr-greedy", "agfw-ack", "agfw-ack + MAC leak"},
+        [](workload::ScenarioConfig& cfg, double v) {
+            const int c = static_cast<int>(v);
+            cfg.scheme = c == 0 ? workload::Scheme::kGpsrGreedy
+                                : workload::Scheme::kAgfwAck;
+            cfg.anonymous_mac = c != 2;
+        })};
+    spec.seeds_per_point = 1;
+    spec.seed_base = 11;
+
+    const auto points = bench::run_sweep(spec, args);
 
     util::TablePrinter table({"scheme", "frames seen", "identity sightings",
                               "pseudonym sightings", "nodes localized", "coverage",
                               "pseudonym->MAC links"});
-    for (const Case& c : cases) {
-        const auto r = run_case(c.scheme, c.anon_mac, seconds);
-        const auto& adv = r.adversary;
+    for (const experiment::PointRecord& pt : points) {
+        const auto& adv = pt.runs.front().result.adversary;
         table.row()
-            .cell(c.name)
+            .cell(pt.labels[0])
             .cell(static_cast<long long>(adv.frames_observed))
             .cell(static_cast<long long>(adv.identity_sightings))
             .cell(static_cast<long long>(adv.pseudonym_sightings))
@@ -58,6 +50,7 @@ int main() {
     }
     table.print();
 
+    bench::maybe_write_json(args, "privacy_tracking", spec, points);
     std::printf(
         "\nExpected shape (paper §4): GPSR localizes every node almost\n"
         "continuously; full AGFW yields zero identity-location linkage; the\n"

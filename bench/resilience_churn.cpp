@@ -36,37 +36,49 @@ fault::FaultPlan churn_plan(std::size_t num_nodes, double down_fraction,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    const util::CliArgs args(argc, argv);
     const double seconds = bench::sim_seconds(200.0);
     const int seeds = bench::seed_count(2);
     bench::print_banner("Resilience: AGFW-ACK delivery vs node churn", seconds,
                         seeds);
 
-    const std::vector<double> fractions{0.0, 0.10, 0.20, 0.30};
-    util::TablePrinter table({"churn%", "pdr", "lat-ms", "crashes", "recov-p95-s"});
-
-    for (double f : fractions) {
-        util::RunningStat pdr, lat, crashes, p95;
-        for (int s = 0; s < seeds; ++s) {
-            auto cfg = bench::paper_scenario(
-                workload::Scheme::kAgfwAck, 50, seconds,
-                2000 + static_cast<std::uint64_t>(s));
+    experiment::SweepSpec spec;
+    spec.base = bench::paper_scenario(workload::Scheme::kAgfwAck, 50, seconds, 1);
+    spec.axes = {experiment::Axis::numeric(
+        "churn_fraction", {0.0, 0.10, 0.20, 0.30},
+        [seconds](workload::ScenarioConfig& cfg, double f) {
             cfg.faults = churn_plan(cfg.num_nodes, f, seconds);
-            const auto r = workload::ScenarioRunner(cfg).run();
-            pdr.add(r.delivery_fraction);
-            lat.add(r.avg_latency_ms);
-            crashes.add(static_cast<double>(r.resilience.node_crashes));
-            p95.add(r.resilience.recovery_latency_p95_s);
-        }
+        })};
+    spec.seeds_per_point = static_cast<std::size_t>(seeds);
+    spec.seed_base = 2000;
+
+    const auto points = bench::run_sweep(spec, args);
+
+    util::TablePrinter table({"churn%", "pdr", "lat-ms", "crashes", "recov-p95-s"});
+    for (const experiment::PointRecord& pt : points) {
         table.row()
-            .cell(static_cast<long long>(f * 100.0 + 0.5))
-            .cell(pdr.mean(), 3)
-            .cell(lat.mean(), 1)
-            .cell(crashes.mean(), 1)
-            .cell(p95.mean(), 2);
+            .cell(static_cast<long long>(pt.values[0] * 100.0 + 0.5))
+            .cell(pt.mean([](const workload::ScenarioResult& r) {
+                      return r.delivery_fraction;
+                  }),
+                  3)
+            .cell(pt.mean([](const workload::ScenarioResult& r) {
+                      return r.avg_latency_ms;
+                  }),
+                  1)
+            .cell(pt.mean([](const workload::ScenarioResult& r) {
+                      return static_cast<double>(r.resilience.node_crashes);
+                  }),
+                  1)
+            .cell(pt.mean([](const workload::ScenarioResult& r) {
+                      return r.resilience.recovery_latency_p95_s;
+                  }),
+                  2);
     }
     table.print();
 
+    bench::maybe_write_json(args, "resilience_churn", spec, points);
     std::printf(
         "\nExpected shape: delivery declines smoothly with churn (no cliff);\n"
         "recovery p95 stays within a few hello intervals of the downtime end.\n");

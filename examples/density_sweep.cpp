@@ -2,17 +2,21 @@
 //
 // Sweeps network density for any subset of the three schemes and prints
 // delivery fraction, latency and the MAC-level causes behind them (RTS/CTS
-// retries for GPSR, NL-ACK retransmissions for AGFW).
+// retries for GPSR, NL-ACK retransmissions for AGFW). The sweep is a
+// declarative SweepSpec executed by SweepRunner, so --jobs=N fans the runs
+// out over N threads with byte-identical output to a serial run.
 //
 // Usage: density_sweep [--nodes=50,75,100,112,125,150] [--seconds=120]
-//                      [--seed=7] [--scheme=all|gpsr|agfw-ack|agfw-noack]
+//                      [--seed=7] [--seeds=1] [--scheme=all|gpsr|agfw-ack|agfw-noack]
+//                      [--jobs=1] [--json=PATH]
 
 #include <cstdio>
 #include <sstream>
 
+#include "experiment/json.hpp"
+#include "experiment/sweep.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
-#include "workload/scenario.hpp"
 
 using namespace geoanon;
 
@@ -33,6 +37,7 @@ int main(int argc, char** argv) {
     const auto densities = parse_list(args.get("nodes", std::string{"50,75,100,112,125,150"}));
     const double seconds = args.get("seconds", 120.0);
     const auto seed = static_cast<std::uint64_t>(args.get("seed", std::int64_t{7}));
+    const auto seeds = static_cast<std::size_t>(args.get("seeds", std::int64_t{1}));
     const std::string scheme_arg = args.get("scheme", std::string{"all"});
 
     std::vector<workload::Scheme> schemes;
@@ -47,30 +52,44 @@ int main(int argc, char** argv) {
         return 1;
     }
 
+    experiment::SweepSpec spec;
+    spec.base.sim_seconds = seconds;
+    spec.base.traffic_stop_s = seconds - 10.0;
+    spec.axes = {experiment::Axis::nodes(densities),
+                 experiment::Axis::schemes(schemes)};
+    spec.seeds_per_point = seeds;
+    spec.seed_base = seed;
+
+    experiment::SweepRunner::Options options;
+    options.jobs = static_cast<std::size_t>(args.get("jobs", std::int64_t{1}));
+    const auto points = experiment::SweepRunner(spec, options).run();
+
     util::TablePrinter table({"nodes", "scheme", "delivery", "lat (ms)", "p95 (ms)", "hops",
                               "mac retries", "nl retx", "collisions"});
-    for (std::size_t nodes : densities) {
-        for (workload::Scheme scheme : schemes) {
-            workload::ScenarioConfig cfg;
-            cfg.scheme = scheme;
-            cfg.num_nodes = nodes;
-            cfg.sim_seconds = seconds;
-            cfg.traffic_stop_s = seconds - 10.0;
-            cfg.seed = seed;
-            workload::ScenarioRunner runner(cfg);
-            const auto r = runner.run();
-            table.row()
-                .cell(static_cast<long long>(nodes))
-                .cell(workload::scheme_name(scheme))
-                .cell(r.delivery_fraction, 3)
-                .cell(r.avg_latency_ms, 2)
-                .cell(r.p95_latency_ms, 2)
-                .cell(r.avg_hops, 2)
-                .cell(static_cast<long long>(r.mac_retries))
-                .cell(static_cast<long long>(r.nl_retransmissions))
-                .cell(static_cast<long long>(r.mac_collisions));
-        }
+    for (const experiment::PointRecord& pt : points) {
+        const auto mean = [&](auto field) {
+            return pt.mean([field](const workload::ScenarioResult& r) {
+                return static_cast<double>(r.*field);
+            });
+        };
+        table.row()
+            .cell(pt.labels[0])
+            .cell(pt.labels[1])
+            .cell(mean(&workload::ScenarioResult::delivery_fraction), 3)
+            .cell(mean(&workload::ScenarioResult::avg_latency_ms), 2)
+            .cell(mean(&workload::ScenarioResult::p95_latency_ms), 2)
+            .cell(mean(&workload::ScenarioResult::avg_hops), 2)
+            .cell(static_cast<long long>(mean(&workload::ScenarioResult::mac_retries)))
+            .cell(static_cast<long long>(mean(&workload::ScenarioResult::nl_retransmissions)))
+            .cell(static_cast<long long>(mean(&workload::ScenarioResult::mac_collisions)));
     }
     table.print();
+
+    if (args.has("json")) {
+        const std::string path = args.get("json", std::string{});
+        if (experiment::write_text_file(
+                path, experiment::sweep_to_json("density_sweep", spec, points)))
+            std::printf("wrote %s\n", path.c_str());
+    }
     return 0;
 }

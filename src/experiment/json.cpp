@@ -1,0 +1,295 @@
+#include "experiment/json.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+
+#include "util/log.hpp"
+
+namespace geoanon::experiment {
+
+void JsonWriter::separate() {
+    if (after_key_) {
+        after_key_ = false;
+        return;
+    }
+    if (!depth_counts_.empty() && depth_counts_.back()++ > 0) out_ += ',';
+}
+
+JsonWriter& JsonWriter::begin_object() {
+    separate();
+    out_ += '{';
+    depth_counts_.push_back(0);
+    return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+    depth_counts_.pop_back();
+    out_ += '}';
+    return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+    separate();
+    out_ += '[';
+    depth_counts_.push_back(0);
+    return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+    depth_counts_.pop_back();
+    out_ += ']';
+    return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& k) {
+    separate();
+    out_ += '"';
+    out_ += json_escape(k);
+    out_ += "\":";
+    after_key_ = true;
+    return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& v) {
+    separate();
+    out_ += '"';
+    out_ += json_escape(v);
+    out_ += '"';
+    return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* v) { return value(std::string(v)); }
+
+JsonWriter& JsonWriter::value(double v) {
+    separate();
+    char buf[40];
+    // %.17g round-trips every finite double and formats identically for
+    // identical bit patterns — the byte-stability the sweep contract needs.
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    out_ += buf;
+    return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+    separate();
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+    out_ += buf;
+    return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+    separate();
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%" PRId64, v);
+    out_ += buf;
+    return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+    separate();
+    out_ += v ? "true" : "false";
+    return *this;
+}
+
+std::string json_escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    return out;
+}
+
+void result_to_json(JsonWriter& w, const workload::ScenarioResult& r, bool include_perf) {
+    w.begin_object();
+    w.key("app_sent").value(r.app_sent);
+    w.key("app_delivered").value(r.app_delivered);
+    w.key("delivery_fraction").value(r.delivery_fraction);
+    w.key("avg_latency_ms").value(r.avg_latency_ms);
+    w.key("p50_latency_ms").value(r.p50_latency_ms);
+    w.key("p95_latency_ms").value(r.p95_latency_ms);
+    w.key("avg_hops").value(r.avg_hops);
+
+    w.key("mac_collisions").value(r.mac_collisions);
+    w.key("mac_retries").value(r.mac_retries);
+    w.key("mac_drop_retry").value(r.mac_drop_retry);
+    w.key("rts_sent").value(r.rts_sent);
+    w.key("data_frames").value(r.data_frames);
+    w.key("transmissions").value(r.transmissions);
+
+    w.key("drop_no_route").value(r.drop_no_route);
+    w.key("drop_unreachable").value(r.drop_unreachable);
+    w.key("drop_no_location").value(r.drop_no_location);
+    w.key("nl_retransmissions").value(r.nl_retransmissions);
+    w.key("last_attempts").value(r.last_attempts);
+    w.key("trapdoor_attempts").value(r.trapdoor_attempts);
+    w.key("trapdoor_opens").value(r.trapdoor_opens);
+    w.key("acks_sent").value(r.acks_sent);
+    w.key("implicit_acks").value(r.implicit_acks);
+    w.key("hello_sent").value(r.hello_sent);
+    w.key("cert_fetches").value(r.cert_fetches);
+    w.key("control_bytes").value(r.control_bytes);
+    w.key("data_bytes").value(r.data_bytes);
+    w.key("perimeter_entries").value(r.perimeter_entries);
+    w.key("perimeter_recoveries").value(r.perimeter_recoveries);
+    w.key("perimeter_forwards").value(r.perimeter_forwards);
+
+    w.key("ls").begin_object();
+    w.key("updates_sent").value(r.ls.updates_sent);
+    w.key("update_bytes").value(r.ls.update_bytes);
+    w.key("queries_sent").value(r.ls.queries_sent);
+    w.key("query_bytes").value(r.ls.query_bytes);
+    w.key("replies_sent").value(r.ls.replies_sent);
+    w.key("reply_bytes").value(r.ls.reply_bytes);
+    w.key("replications").value(r.ls.replications);
+    w.key("store_hits").value(r.ls.store_hits);
+    w.key("store_misses").value(r.ls.store_misses);
+    w.key("resolved_ok").value(r.ls.resolved_ok);
+    w.key("resolved_fail").value(r.ls.resolved_fail);
+    w.key("decrypt_attempts").value(r.ls.decrypt_attempts);
+    w.key("query_reissues").value(r.ls.query_reissues);
+    w.key("query_fallbacks").value(r.ls.query_fallbacks);
+    w.key("late_replies").value(r.ls.late_replies);
+    w.key("pending_wiped").value(r.ls.pending_wiped);
+    w.end_object();
+
+    w.key("adversary").begin_object();
+    w.key("frames_observed").value(r.adversary.frames_observed);
+    w.key("identity_sightings").value(r.adversary.identity_sightings);
+    w.key("pseudonym_sightings").value(r.adversary.pseudonym_sightings);
+    w.key("mac_pseudonym_links").value(r.adversary.mac_pseudonym_links);
+    w.key("nodes_ever_localized").value(r.adversary.nodes_ever_localized);
+    w.key("index_linkages").value(r.adversary.index_linkages);
+    w.key("relationship_pairs_learned").value(r.adversary.relationship_pairs_learned);
+    w.key("mean_tracking_coverage").value(r.adversary.mean_tracking_coverage);
+    w.end_object();
+
+    w.key("invariants").begin_object();
+    w.key("frames_checked").value(r.invariants.frames_checked);
+    w.key("packets_checked").value(r.invariants.packets_checked);
+    w.key("ant_entries_checked").value(r.invariants.ant_entries_checked);
+    w.key("sweeps").value(r.invariants.sweeps);
+    w.key("cleartext_identity").value(r.invariants.cleartext_identity);
+    w.key("mac_address_exposed").value(r.invariants.mac_address_exposed);
+    w.key("missing_trapdoor").value(r.invariants.missing_trapdoor);
+    w.key("unknown_pseudonym").value(r.invariants.unknown_pseudonym);
+    w.key("stale_pseudonym_target").value(r.invariants.stale_pseudonym_target);
+    w.key("overlong_ant_ttl").value(r.invariants.overlong_ant_ttl);
+    w.key("stale_ant_entry").value(r.invariants.stale_ant_entry);
+    w.key("ack_without_delivery").value(r.invariants.ack_without_delivery);
+    w.key("codec_reject").value(r.invariants.codec_reject);
+    w.key("wire_size_mismatch").value(r.invariants.wire_size_mismatch);
+    w.key("rotated_out_targets").value(r.invariants.rotated_out_targets);
+    w.key("last_attempt_frames").value(r.invariants.last_attempt_frames);
+    w.key("plain_ls_fallbacks").value(r.invariants.plain_ls_fallbacks);
+    w.end_object();
+
+    w.key("resilience").begin_object();
+    w.key("faults_injected").value(r.resilience.faults_injected);
+    w.key("node_crashes").value(r.resilience.node_crashes);
+    w.key("node_recoveries").value(r.resilience.node_recoveries);
+    w.key("als_outages").value(r.resilience.als_outages);
+    w.key("frames_lost_node_down").value(r.resilience.frames_lost_node_down);
+    w.key("frames_lost_loss_burst").value(r.resilience.frames_lost_loss_burst);
+    w.key("frames_lost_jam").value(r.resilience.frames_lost_jam);
+    w.key("ls_pending_wiped").value(r.resilience.ls_pending_wiped);
+    w.key("recoveries_measured").value(r.resilience.recoveries_measured);
+    w.key("recovery_latency_p50_s").value(r.resilience.recovery_latency_p50_s);
+    w.key("recovery_latency_p95_s").value(r.resilience.recovery_latency_p95_s);
+    w.end_object();
+
+    w.key("events_processed").value(r.events_processed);
+    w.key("peak_queue_depth").value(static_cast<std::uint64_t>(r.perf.peak_queue_depth));
+
+    if (include_perf) {
+        w.key("perf").begin_object();
+        w.key("wall_seconds").value(r.perf.wall_seconds);
+        w.key("events_per_sec").value(r.perf.events_per_sec);
+        w.end_object();
+    }
+    w.end_object();
+}
+
+std::string result_to_json(const workload::ScenarioResult& r, bool include_perf) {
+    JsonWriter w;
+    result_to_json(w, r, include_perf);
+    return w.str();
+}
+
+std::string sweep_to_json(const std::string& bench_name, const SweepSpec& spec,
+                          const std::vector<PointRecord>& points, bool include_perf) {
+    JsonWriter w;
+    w.begin_object();
+    w.key("bench").value(bench_name);
+    w.key("axes").begin_array();
+    for (const Axis& a : spec.axes) {
+        w.begin_object();
+        w.key("name").value(a.name);
+        w.key("values").begin_array();
+        for (const double v : a.values) w.value(v);
+        w.end_array();
+        if (!a.labels.empty()) {
+            w.key("labels").begin_array();
+            for (const std::string& l : a.labels) w.value(l);
+            w.end_array();
+        }
+        w.end_object();
+    }
+    w.end_array();
+    w.key("seeds_per_point").value(static_cast<std::uint64_t>(spec.seeds_per_point));
+    w.key("seed_base").value(spec.seed_base);
+    w.key("points").begin_array();
+    for (const PointRecord& pt : points) {
+        w.begin_object();
+        w.key("point").value(static_cast<std::uint64_t>(pt.index));
+        w.key("coords").begin_object();
+        for (std::size_t i = 0; i < spec.axes.size(); ++i)
+            w.key(spec.axes[i].name).value(pt.values[i]);
+        w.end_object();
+        w.key("labels").begin_object();
+        for (std::size_t i = 0; i < spec.axes.size(); ++i)
+            w.key(spec.axes[i].name).value(pt.labels[i]);
+        w.end_object();
+        w.key("runs").begin_array();
+        for (const RunRecord& run : pt.runs) {
+            w.begin_object();
+            w.key("seed").value(run.seed);
+            w.key("result");
+            result_to_json(w, run.result, include_perf);
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    return w.str();
+}
+
+bool write_text_file(const std::string& path, const std::string& content) {
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    if (!f) {
+        util::log_error("cannot open %s for writing", path.c_str());
+        return false;
+    }
+    f << content << '\n';
+    return static_cast<bool>(f);
+}
+
+}  // namespace geoanon::experiment

@@ -1,0 +1,156 @@
+#include "experiment/sweep.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+#include "util/table.hpp"
+
+namespace geoanon::experiment {
+
+std::string Axis::label(std::size_t i) const {
+    if (i < labels.size()) return labels[i];
+    const double v = values.at(i);
+    if (v == static_cast<double>(static_cast<long long>(v)))
+        return std::to_string(static_cast<long long>(v));
+    return util::fmt_double(v, 3);
+}
+
+Axis Axis::nodes(const std::vector<std::size_t>& counts) {
+    Axis a;
+    a.name = "nodes";
+    for (std::size_t n : counts) a.values.push_back(static_cast<double>(n));
+    a.apply = [](workload::ScenarioConfig& cfg, double v) {
+        cfg.num_nodes = static_cast<std::size_t>(v);
+    };
+    return a;
+}
+
+Axis Axis::schemes(const std::vector<workload::Scheme>& schemes) {
+    Axis a;
+    a.name = "scheme";
+    for (workload::Scheme s : schemes) {
+        a.values.push_back(static_cast<double>(static_cast<int>(s)));
+        a.labels.push_back(workload::scheme_name(s));
+    }
+    a.apply = [](workload::ScenarioConfig& cfg, double v) {
+        cfg.scheme = static_cast<workload::Scheme>(static_cast<int>(v));
+    };
+    return a;
+}
+
+Axis Axis::numeric(std::string name, std::vector<double> values,
+                   std::function<void(workload::ScenarioConfig&, double)> apply) {
+    Axis a;
+    a.name = std::move(name);
+    a.values = std::move(values);
+    a.apply = std::move(apply);
+    return a;
+}
+
+Axis Axis::variants(std::string name, std::vector<std::string> labels,
+                    std::function<void(workload::ScenarioConfig&, double)> apply) {
+    Axis a;
+    a.name = std::move(name);
+    a.labels = std::move(labels);
+    for (std::size_t i = 0; i < a.labels.size(); ++i)
+        a.values.push_back(static_cast<double>(i));
+    a.apply = std::move(apply);
+    return a;
+}
+
+std::size_t SweepSpec::num_points() const {
+    std::size_t n = 1;
+    for (const Axis& a : axes) n *= a.values.size();
+    return n;
+}
+
+std::vector<std::size_t> SweepSpec::point_coords(std::size_t p) const {
+    // Row-major, first axis slowest: invert from the last axis backwards.
+    std::vector<std::size_t> coords(axes.size(), 0);
+    for (std::size_t i = axes.size(); i-- > 0;) {
+        const std::size_t extent = axes[i].values.size();
+        coords[i] = p % extent;
+        p /= extent;
+    }
+    return coords;
+}
+
+workload::ScenarioConfig SweepSpec::config_for(std::size_t point,
+                                               std::size_t seed_slot) const {
+    workload::ScenarioConfig cfg = base;
+    const auto coords = point_coords(point);
+    for (std::size_t i = 0; i < axes.size(); ++i) {
+        if (axes[i].apply) axes[i].apply(cfg, axes[i].values[coords[i]]);
+    }
+    cfg.seed = seed_base + seed_slot;
+    return cfg;
+}
+
+double PointRecord::mean(
+    const std::function<double(const workload::ScenarioResult&)>& f) const {
+    if (runs.empty()) return 0.0;
+    double sum = 0.0;
+    for (const RunRecord& r : runs) sum += f(r.result);
+    return sum / static_cast<double>(runs.size());
+}
+
+SweepRunner::SweepRunner(SweepSpec spec, Options options)
+    : spec_(std::move(spec)), options_(std::move(options)) {}
+
+std::vector<PointRecord> SweepRunner::run() {
+    const std::size_t points = spec_.num_points();
+    const std::size_t seeds = spec_.seeds_per_point;
+    const std::size_t total = points * seeds;
+
+    // Pre-size the result grid so workers write disjoint slots and the
+    // merged output is in spec order no matter who finishes first.
+    std::vector<PointRecord> out(points);
+    for (std::size_t p = 0; p < points; ++p) {
+        out[p].index = p;
+        const auto coords = spec_.point_coords(p);
+        for (std::size_t i = 0; i < spec_.axes.size(); ++i) {
+            out[p].values.push_back(spec_.axes[i].values[coords[i]]);
+            out[p].labels.push_back(spec_.axes[i].label(coords[i]));
+        }
+        out[p].runs.resize(seeds);
+    }
+    if (total == 0) return out;
+
+    std::size_t jobs = options_.jobs != 0 ? options_.jobs
+                                          : std::max(1u, std::thread::hardware_concurrency());
+    jobs = std::min(jobs, total);
+
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::mutex progress_mutex;
+    auto worker = [&] {
+        for (;;) {
+            const std::size_t i = next.fetch_add(1);
+            if (i >= total) return;
+            const std::size_t point = i / seeds;
+            const std::size_t slot = i % seeds;
+            const workload::ScenarioConfig cfg = spec_.config_for(point, slot);
+            workload::ScenarioRunner runner(cfg);
+            out[point].runs[slot] = RunRecord{cfg.seed, runner.run()};
+            const std::size_t finished = done.fetch_add(1) + 1;
+            if (options_.on_progress) {
+                const std::lock_guard<std::mutex> lock(progress_mutex);
+                options_.on_progress(finished, total);
+            }
+        }
+    };
+
+    if (jobs == 1) {
+        worker();
+        return out;
+    }
+    std::vector<std::thread> pool;
+    pool.reserve(jobs);
+    for (std::size_t j = 0; j < jobs; ++j) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+    return out;
+}
+
+}  // namespace geoanon::experiment

@@ -1,0 +1,101 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "workload/scenario.hpp"
+
+namespace geoanon::experiment {
+
+/// One swept dimension: a named list of values, each applied to a
+/// ScenarioConfig by `apply`. Values are doubles so every axis (node counts,
+/// churn fractions, enum indices) shares one representation; `labels`, when
+/// non-empty, carries the human-readable name per value (e.g. scheme names).
+struct Axis {
+    std::string name;
+    std::vector<double> values;
+    std::vector<std::string> labels;
+    std::function<void(workload::ScenarioConfig&, double)> apply;
+
+    /// Display label for value i: labels[i] when present, else the number.
+    std::string label(std::size_t i) const;
+
+    /// Node-count axis: sets num_nodes only; combine with a custom axis to
+    /// co-scale area or traffic.
+    static Axis nodes(const std::vector<std::size_t>& counts);
+    /// Scheme axis; values are enum indices, labels are scheme_name().
+    static Axis schemes(const std::vector<workload::Scheme>& schemes);
+    /// General numeric axis.
+    static Axis numeric(std::string name, std::vector<double> values,
+                        std::function<void(workload::ScenarioConfig&, double)> apply);
+    /// Labelled variant axis: values are 0..n-1, labels name each variant.
+    static Axis variants(std::string name, std::vector<std::string> labels,
+                         std::function<void(workload::ScenarioConfig&, double)> apply);
+};
+
+/// Declarative sweep: a base ScenarioConfig crossed with the cartesian
+/// product of the axes, each grid point repeated `seeds_per_point` times with
+/// seeds seed_base, seed_base + 1, ... Expansion order is row-major with the
+/// first axis slowest — the "spec order" every consumer (tables, JSON,
+/// equivalence tests) sees regardless of execution schedule.
+struct SweepSpec {
+    workload::ScenarioConfig base;
+    std::vector<Axis> axes;
+    std::size_t seeds_per_point{1};
+    std::uint64_t seed_base{1000};
+
+    std::size_t num_points() const;
+    std::size_t num_runs() const { return num_points() * seeds_per_point; }
+    /// Per-axis value indices of flattened point `p`.
+    std::vector<std::size_t> point_coords(std::size_t p) const;
+    /// Base config with every axis value applied, then the seed slot's seed.
+    workload::ScenarioConfig config_for(std::size_t point, std::size_t seed_slot) const;
+};
+
+/// One executed run of a sweep point.
+struct RunRecord {
+    std::uint64_t seed{0};
+    workload::ScenarioResult result;
+};
+
+/// All runs of one grid point, in seed order.
+struct PointRecord {
+    std::size_t index{0};
+    std::vector<double> values;       ///< axis value per axis
+    std::vector<std::string> labels;  ///< axis label per axis
+    std::vector<RunRecord> runs;
+
+    /// Mean of an extracted metric over this point's runs.
+    double mean(const std::function<double(const workload::ScenarioResult&)>& f) const;
+};
+
+/// Expands a SweepSpec and executes every run on a std::thread pool. Each run
+/// is fully self-contained — its own Simulator, Channel, and RNG streams —
+/// so per-run determinism is untouched by parallelism, and results are
+/// merged back in spec order: output is identical for any worker count.
+class SweepRunner {
+  public:
+    struct Options {
+        std::size_t jobs{1};  ///< worker threads; 0 = hardware_concurrency
+        /// Called after each completed run (serialized); for progress bars.
+        std::function<void(std::size_t done, std::size_t total)> on_progress;
+    };
+
+    explicit SweepRunner(SweepSpec spec) : SweepRunner(std::move(spec), Options{}) {}
+    SweepRunner(SweepSpec spec, Options options);
+
+    /// Execute the whole grid. Deterministic output order (spec order).
+    std::vector<PointRecord> run();
+
+    const SweepSpec& spec() const { return spec_; }
+
+  private:
+    SweepSpec spec_;
+    Options options_;
+};
+
+}  // namespace geoanon::experiment

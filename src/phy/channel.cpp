@@ -1,6 +1,9 @@
 #include "phy/channel.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <cmath>
+#include <cstdlib>
 
 namespace geoanon::phy {
 
@@ -63,14 +66,15 @@ void Radio::energy_start(std::uint64_t tx_id, bool decodable, const Frame& frame
             channel_.note_collision();
             ++stats_.frames_corrupted;
         }
-        receptions_.emplace(tx_id, std::move(rx));
+        receptions_.emplace_back(tx_id, std::move(rx));
     }
     if (energy_count_ == 1 && on_busy_) on_busy_();
 }
 
 void Radio::energy_end(std::uint64_t tx_id) {
     --energy_count_;
-    auto it = receptions_.find(tx_id);
+    auto it = std::find_if(receptions_.begin(), receptions_.end(),
+                           [tx_id](const auto& e) { return e.first == tx_id; });
     if (it != receptions_.end()) {
         const bool ok = !it->second.corrupted && !transmitting_;
         Frame frame = std::move(it->second.frame);
@@ -88,30 +92,118 @@ void Radio::energy_end(std::uint64_t tx_id) {
     if (energy_count_ == 0 && on_idle_) on_idle_();
 }
 
+Channel::Channel(sim::Simulator& sim, PhyParams params) : sim_(sim), params_(params) {
+    brute_force_ = params_.brute_force || std::getenv("GEOANON_BRUTE_FORCE_CHANNEL") != nullptr;
+    const double slack_m =
+        params_.grid_max_speed_mps * params_.grid_rebucket_interval.to_seconds();
+    cell_m_ = std::max(1.0, params_.cs_range_m + slack_m);
+}
+
+void Channel::set_snoop(SnoopFn snoop) {
+    if (!snoop) {
+        if (has_primary_tap_) {
+            taps_.erase(taps_.begin());
+            has_primary_tap_ = false;
+        }
+        return;
+    }
+    if (has_primary_tap_) {
+        taps_.front() = std::move(snoop);
+    } else {
+        taps_.insert(taps_.begin(), std::move(snoop));
+        has_primary_tap_ = true;
+    }
+}
+
+Channel::Cell Channel::cell_of(const Vec2& p) const {
+    return Cell{static_cast<std::int32_t>(std::floor(p.x / cell_m_)),
+                static_cast<std::int32_t>(std::floor(p.y / cell_m_))};
+}
+
+std::uint64_t Channel::cell_key(Cell c) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(c.x)) << 32) |
+           static_cast<std::uint64_t>(static_cast<std::uint32_t>(c.y));
+}
+
+void Channel::register_radio(Radio* radio) {
+    radios_.push_back(radio);
+    radio_cells_.push_back({});
+    radio_bucketed_.push_back(false);
+    // The radio's PositionFn may close over a not-yet-constructed owner, so
+    // don't sample it here; the radio stays a candidate for every query
+    // until the next sweep places it in a bucket.
+    unbucketed_.push_back(static_cast<std::uint32_t>(radios_.size() - 1));
+}
+
+void Channel::rebucket_if_stale() {
+    const SimTime now = sim_.now();
+    if (swept_once_ && now - last_sweep_ < params_.grid_rebucket_interval) return;
+    swept_once_ = true;
+    last_sweep_ = now;
+    for (std::size_t i = 0; i < radios_.size(); ++i) {
+        const Cell c = cell_of(radios_[i]->position());
+        if (radio_bucketed_[i]) {
+            if (c == radio_cells_[i]) continue;
+            auto& old_bucket = buckets_[cell_key(radio_cells_[i])];
+            old_bucket.erase(
+                std::find(old_bucket.begin(), old_bucket.end(), static_cast<std::uint32_t>(i)));
+        }
+        radio_cells_[i] = c;
+        radio_bucketed_[i] = true;
+        buckets_[cell_key(c)].push_back(static_cast<std::uint32_t>(i));
+    }
+    unbucketed_.clear();
+}
+
+void Channel::deliver_from(Radio* sender, const Frame& frame, const Vec2& sender_pos,
+                           std::uint64_t tx_id, Radio* receiver, const Vec2& rx_pos,
+                           std::vector<Radio*>& affected) {
+    const double d = util::distance(sender_pos, rx_pos);
+    if (d > params_.cs_range_m) return;
+    bool decodable = d <= params_.range_m;
+    if (decodable && drop_ && drop_(frame, sender_pos, rx_pos)) {
+        decodable = false;
+        ++stats_.impaired;
+    }
+    affected.push_back(receiver);
+    receiver->energy_start(tx_id, decodable, frame);
+}
+
 void Channel::start_tx(Radio* sender, const Frame& frame) {
     ++stats_.transmissions;
     const std::uint64_t tx_id = next_tx_id_++;
     const Vec2 sender_pos = sender->position();
-    if (snoop_) snoop_(frame, sender_pos);
     for (const auto& tap : taps_) tap(frame, sender_pos);
     const SimTime airtime = params_.airtime(frame.wire_bytes);
 
     sender->begin_own_tx();
 
-    // Reception membership is decided at transmission start.
+    // Reception membership is decided at transmission start. Both paths
+    // visit candidates in registration order, so MAC callbacks (and the
+    // events they schedule) fire in the same FIFO order either way.
     std::vector<Radio*> affected;
-    for (Radio* r : radios_) {
-        if (r == sender) continue;
-        const Vec2 rx_pos = r->position();
-        const double d = util::distance(sender_pos, rx_pos);
-        if (d <= params_.cs_range_m) {
-            bool decodable = d <= params_.range_m;
-            if (decodable && drop_ && drop_(frame, sender_pos, rx_pos)) {
-                decodable = false;
-                ++stats_.impaired;
+    if (brute_force_) {
+        for (Radio* r : radios_) {
+            if (r == sender) continue;
+            deliver_from(sender, frame, sender_pos, tx_id, r, r->position(), affected);
+        }
+    } else {
+        rebucket_if_stale();
+        candidates_.clear();
+        const Cell center = cell_of(sender_pos);
+        for (std::int32_t dx = -1; dx <= 1; ++dx) {
+            for (std::int32_t dy = -1; dy <= 1; ++dy) {
+                const auto it = buckets_.find(cell_key({center.x + dx, center.y + dy}));
+                if (it == buckets_.end()) continue;
+                candidates_.insert(candidates_.end(), it->second.begin(), it->second.end());
             }
-            affected.push_back(r);
-            r->energy_start(tx_id, decodable, frame);
+        }
+        candidates_.insert(candidates_.end(), unbucketed_.begin(), unbucketed_.end());
+        std::sort(candidates_.begin(), candidates_.end());
+        for (const std::uint32_t idx : candidates_) {
+            Radio* r = radios_[idx];
+            if (r == sender) continue;
+            deliver_from(sender, frame, sender_pos, tx_id, r, r->position(), affected);
         }
     }
 

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <functional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "net/packet.hpp"
@@ -24,6 +25,19 @@ struct PhyParams {
     double cs_range_m{550.0};
     double bitrate_bps{2e6};
     SimTime plcp_overhead{SimTime::micros(192)};
+
+    /// Spatial-index tuning. Radios are re-bucketed from their PositionFn at
+    /// transmission time, at most once per grid_rebucket_interval; the grid
+    /// cell size is cs_range_m plus the farthest a radio can drift between
+    /// sweeps (grid_max_speed_mps * interval), so the 9-cell neighborhood
+    /// query stays exact for any mobility at or below the speed hint.
+    SimTime grid_rebucket_interval{SimTime::millis(250)};
+    double grid_max_speed_mps{50.0};
+
+    /// Escape hatch: scan every registered radio per transmission instead of
+    /// using the spatial hash grid. Also enabled (for a whole process) by the
+    /// GEOANON_BRUTE_FORCE_CHANNEL environment variable.
+    bool brute_force{false};
 
     /// Time on air for a link-layer frame of `bytes` bytes.
     SimTime airtime(std::size_t bytes) const {
@@ -114,7 +128,11 @@ class Radio {
     int energy_count_{0};
     bool transmitting_{false};
     bool enabled_{true};
-    std::unordered_map<std::uint64_t, Reception> receptions_;
+    /// Concurrent receptions, keyed by tx id. Insertion-ordered (a plain
+    /// vector, typically 0-3 entries) so corruption sweeps traverse in the
+    /// same order on every standard library, keeping runs reproducible
+    /// across platforms, not just within one.
+    std::vector<std::pair<std::uint64_t, Reception>> receptions_;
     Stats stats_;
 };
 
@@ -124,6 +142,15 @@ class Radio {
 /// receiver's own transmission — overlaps its airtime, in which case all
 /// overlapping receptions at that radio are corrupted. Hidden terminals
 /// emerge naturally from this rule.
+///
+/// Reception membership is resolved through a spatial hash grid (cell size
+/// cs_range_m plus a mobility slack): a transmission only inspects radios
+/// bucketed in the 9 cells around the sender, and radios re-bucket lazily
+/// from their PositionFn at transmission time. The grid is an index, not a
+/// model change — candidate radios are visited in registration order and
+/// filtered by the exact same distance test as the brute-force scan, so the
+/// event stream (and therefore every ScenarioResult) is bit-identical to
+/// PhyParams::brute_force mode.
 class Channel {
   public:
     struct Stats {
@@ -133,7 +160,7 @@ class Channel {
         std::uint64_t impaired{0};    ///< in-range receptions killed by the drop model
     };
 
-    Channel(sim::Simulator& sim, PhyParams params) : sim_(sim), params_(params) {}
+    Channel(sim::Simulator& sim, PhyParams params);
 
     const PhyParams& params() const { return params_; }
     const Stats& stats() const { return stats_; }
@@ -141,12 +168,13 @@ class Channel {
 
     /// Passive global eavesdropper tap: observes every transmission with the
     /// transmitter's true position (a sniffer near the sender learns as
-    /// much). Used by the privacy experiments (§4). set_snoop() replaces the
-    /// (single) primary tap — historical API kept for tests; add_snoop()
-    /// appends an additional independent tap, so the eavesdropper and the
-    /// protocol invariant checker can observe the same run side by side.
+    /// much). Used by the privacy experiments (§4). Taps share one dispatch
+    /// list: set_snoop() replaces the primary tap (historical single-tap
+    /// API, always dispatched first); add_snoop() appends an additional
+    /// independent tap, so the eavesdropper and the protocol invariant
+    /// checker can observe the same run side by side.
     using SnoopFn = std::function<void(const Frame&, const Vec2& tx_pos)>;
-    void set_snoop(SnoopFn snoop) { snoop_ = std::move(snoop); }
+    void set_snoop(SnoopFn snoop);
     void add_snoop(SnoopFn snoop) { taps_.push_back(std::move(snoop)); }
 
     /// Receiver-side impairment model (fault injection): return true to make
@@ -156,22 +184,58 @@ class Channel {
     using DropFn = std::function<bool(const Frame&, const Vec2& tx_pos, const Vec2& rx_pos)>;
     void set_drop_model(DropFn drop) { drop_ = std::move(drop); }
 
+    /// True when this channel scans all radios per transmission (config flag
+    /// or GEOANON_BRUTE_FORCE_CHANNEL) instead of querying the spatial grid.
+    bool brute_force() const { return brute_force_; }
+
   private:
     friend class Radio;
 
-    void register_radio(Radio* radio) { radios_.push_back(radio); }
+    /// Grid cell coordinates (floor of position / cell size; signed so
+    /// positions slightly outside the area still bucket correctly).
+    struct Cell {
+        std::int32_t x{0};
+        std::int32_t y{0};
+        bool operator==(const Cell&) const = default;
+    };
+
+    void register_radio(Radio* radio);
     void start_tx(Radio* sender, const Frame& frame);
     void note_delivery() { ++stats_.deliveries; }
     void note_collision() { ++stats_.collisions; }
+
+    Cell cell_of(const Vec2& p) const;
+    static std::uint64_t cell_key(Cell c);
+    /// Re-bucket every radio from its PositionFn if the last sweep is older
+    /// than grid_rebucket_interval (no-op otherwise). Called at tx time only,
+    /// so it schedules nothing and leaves the event stream untouched.
+    void rebucket_if_stale();
+    void deliver_from(Radio* sender, const Frame& frame, const Vec2& sender_pos,
+                      std::uint64_t tx_id, Radio* receiver, const Vec2& rx_pos,
+                      std::vector<Radio*>& affected);
 
     sim::Simulator& sim_;
     PhyParams params_;
     std::vector<Radio*> radios_;
     Stats stats_;
     std::uint64_t next_tx_id_{1};
-    SnoopFn snoop_;
     std::vector<SnoopFn> taps_;
+    bool has_primary_tap_{false};  ///< taps_[0] is the set_snoop slot
     DropFn drop_;
+
+    // Spatial hash grid ---------------------------------------------------
+    bool brute_force_{false};
+    double cell_m_{1.0};
+    std::vector<Cell> radio_cells_;           ///< parallel to radios_
+    std::vector<bool> radio_bucketed_;        ///< parallel to radios_
+    std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> buckets_;
+    /// Radios registered since the last sweep; always candidates until the
+    /// next sweep buckets them (their PositionFn may not be safely callable
+    /// at registration time).
+    std::vector<std::uint32_t> unbucketed_;
+    bool swept_once_{false};
+    SimTime last_sweep_{};
+    std::vector<std::uint32_t> candidates_;   ///< per-tx scratch
 };
 
 }  // namespace geoanon::phy

@@ -1,5 +1,6 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
 #include <utility>
 
 namespace geoanon::sim {
@@ -8,11 +9,14 @@ EventId Simulator::at(SimTime t, Callback cb) {
     const EventId id = next_id_++;
     if (t < now_) t = now_;
     heap_.push(Event{t, next_seq_++, id, std::move(cb)});
+    live_.push_back(true);  // ids are sequential: live_[id - 1]
+    peak_pending_ = std::max(peak_pending_, pending_events());
     return id;
 }
 
 void Simulator::cancel(EventId id) {
-    if (id != kInvalidEvent) cancelled_.insert(id);
+    if (id == kInvalidEvent || id - 1 >= live_.size() || !live_[id - 1]) return;
+    cancelled_.insert(id);
 }
 
 bool Simulator::pop_runnable(Event& out, SimTime end) {
@@ -22,6 +26,7 @@ bool Simulator::pop_runnable(Event& out, SimTime end) {
         // callback only after we have committed to popping this event.
         out = std::move(const_cast<Event&>(heap_.top()));
         heap_.pop();
+        live_[out.id - 1] = false;
         if (auto it = cancelled_.find(out.id); it != cancelled_.end()) {
             cancelled_.erase(it);
             continue;

@@ -37,7 +37,8 @@ class Simulator {
     EventId after(SimTime d, Callback cb) { return at(now_ + d, std::move(cb)); }
 
     /// Cancel a pending event. Cancelling an already-fired or invalid id is a
-    /// harmless no-op (common when a timer races its own completion).
+    /// harmless no-op (common when a timer races its own completion) and does
+    /// not perturb pending-event accounting.
     void cancel(EventId id);
 
     /// Run until the queue drains or `end` is reached; the clock is advanced
@@ -52,7 +53,12 @@ class Simulator {
     void stop() { stopped_ = true; }
 
     std::uint64_t events_processed() const { return processed_; }
+    /// Events scheduled and neither fired nor cancelled. cancelled_ only ever
+    /// holds ids still in the heap (cancel() checks liveness), so the
+    /// difference cannot underflow even when cancels outlive their events.
     std::size_t pending_events() const { return heap_.size() - cancelled_.size(); }
+    /// High-water mark of pending_events() over the simulator's lifetime.
+    std::size_t peak_pending() const { return peak_pending_; }
 
   private:
     struct Event {
@@ -72,10 +78,14 @@ class Simulator {
 
     std::priority_queue<Event, std::vector<Event>, Later> heap_;
     std::unordered_set<EventId> cancelled_;
+    /// live_[id - 1] is true while event `id` sits in the heap. Ids are
+    /// issued sequentially, so this is a dense bitmap, not a hash set.
+    std::vector<bool> live_;
     SimTime now_{SimTime::zero()};
     std::uint64_t next_seq_{0};
     EventId next_id_{1};
     std::uint64_t processed_{0};
+    std::size_t peak_pending_{0};
     bool stopped_{false};
 };
 

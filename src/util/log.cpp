@@ -1,11 +1,14 @@
 #include "util/log.hpp"
 
+#include <atomic>
 #include <cstdio>
 
 namespace geoanon::util {
 
 namespace {
-LogLevel g_level = LogLevel::kWarn;
+// Atomic so concurrent SweepRunner workers can log while another thread
+// adjusts the threshold; per-message output remains a single vfprintf.
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
 
 const char* tag(LogLevel level) {
     switch (level) {
@@ -20,11 +23,11 @@ const char* tag(LogLevel level) {
 }
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
-LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
 void vlog(LogLevel level, const char* fmt, va_list args) {
-    if (level < g_level) return;
+    if (level < g_level.load(std::memory_order_relaxed)) return;
     std::fprintf(stderr, "[%s] ", tag(level));
     std::vfprintf(stderr, fmt, args);
     std::fputc('\n', stderr);

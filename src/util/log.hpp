@@ -12,8 +12,9 @@ enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, 
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
-/// printf-style logging to stderr with a level tag. Thread-unsafe by design:
-/// the simulator is single-threaded and benches run one scenario at a time.
+/// printf-style logging to stderr with a level tag. The threshold check is
+/// atomic and each message is one vfprintf, so concurrent SweepRunner workers
+/// may log without tearing (ordering between threads is best-effort).
 void log(LogLevel level, const char* fmt, ...) __attribute__((format(printf, 2, 3)));
 
 inline void log_debug(const char* fmt, ...) __attribute__((format(printf, 1, 2)));

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 
 namespace geoanon::workload {
 
@@ -247,8 +248,14 @@ void ScenarioRunner::on_delivery(net::NodeId at, const net::Packet& pkt) {
 ScenarioResult ScenarioRunner::run() {
     setup();
     network_->start_agents();
+    const auto wall_start = std::chrono::steady_clock::now();
     network_->sim().run_until(SimTime::seconds(config_.sim_seconds));
-    return aggregate();
+    const std::chrono::duration<double> wall = std::chrono::steady_clock::now() - wall_start;
+    ScenarioResult r = aggregate();
+    r.perf.wall_seconds = wall.count();
+    r.perf.events_per_sec =
+        wall.count() > 0.0 ? static_cast<double>(r.events_processed) / wall.count() : 0.0;
+    return r;
 }
 
 ScenarioResult ScenarioRunner::aggregate() {
@@ -359,6 +366,7 @@ ScenarioResult ScenarioRunner::aggregate() {
     if (eavesdropper_) r.adversary = eavesdropper_->report(config_.sim_seconds);
     if (checker_) r.invariants = checker_->counters();
     r.events_processed = network_->sim().events_processed();
+    r.perf.peak_queue_depth = network_->sim().peak_pending();
     return r;
 }
 

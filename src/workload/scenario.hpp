@@ -146,6 +146,17 @@ struct ScenarioResult {
     Resilience resilience{};
 
     std::uint64_t events_processed{0};
+
+    /// Host-side execution metrics. The only non-deterministic corner of the
+    /// result: wall-clock and throughput vary run to run, so equivalence and
+    /// replay comparisons (and the default bench JSON) exclude this block.
+    /// peak_queue_depth (simulator high-water mark) IS deterministic.
+    struct Perf {
+        double wall_seconds{0.0};
+        double events_per_sec{0.0};
+        std::size_t peak_queue_depth{0};
+    };
+    Perf perf{};
 };
 
 /// Builds the network for a ScenarioConfig, drives the CBR workload, runs

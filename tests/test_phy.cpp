@@ -219,6 +219,27 @@ TEST(Phy, SnoopSeesEveryTransmission) {
     EXPECT_EQ(snooped, 1);
 }
 
+TEST(Phy, SnoopAndTapsShareOneDispatchList) {
+    // set_snoop owns the primary slot (replaced, not appended); add_snoop
+    // appends independent taps. All observers see every transmission.
+    Rig rig;
+    int replaced = 0, primary = 0, extra = 0;
+    rig.channel.set_snoop([&](const Frame&, const Vec2&) { ++replaced; });
+    rig.channel.add_snoop([&](const Frame&, const Vec2&) { ++extra; });
+    rig.channel.set_snoop([&](const Frame&, const Vec2&) { ++primary; });
+    Radio& tx = rig.add({0, 0});
+    tx.start_tx(rig.frame());
+    rig.sim.run();
+    EXPECT_EQ(replaced, 0);  // displaced by the second set_snoop
+    EXPECT_EQ(primary, 1);
+    EXPECT_EQ(extra, 1);
+    rig.channel.set_snoop(nullptr);  // clears only the primary slot
+    tx.start_tx(rig.frame());
+    rig.sim.run();
+    EXPECT_EQ(primary, 1);
+    EXPECT_EQ(extra, 2);
+}
+
 TEST(Phy, StatsCountersConsistent) {
     Rig rig;
     Radio& tx = rig.add({0, 0});

@@ -77,6 +77,55 @@ TEST(Simulator, CancelIsIdempotentAndSafeAfterFire) {
     EXPECT_EQ(runs, 2);
 }
 
+TEST(Simulator, PendingEventsSurvivesCancelOfFiredId) {
+    // Regression: cancelling an id that has already fired used to leave it in
+    // the cancelled set forever, so pending_events() (heap minus cancelled)
+    // underflowed as soon as the queue refilled.
+    Simulator sim;
+    const EventId id = sim.at(1_s, [] {});
+    EXPECT_EQ(sim.pending_events(), 1u);
+    sim.run();
+    EXPECT_EQ(sim.pending_events(), 0u);
+    sim.cancel(id);  // fired long ago: must not count
+    EXPECT_EQ(sim.pending_events(), 0u);
+    sim.at(2_s, [] {});
+    EXPECT_EQ(sim.pending_events(), 1u);
+    sim.run();
+    EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(Simulator, DoubleCancelCountsOnce) {
+    Simulator sim;
+    const EventId id = sim.at(1_s, [] {});
+    sim.at(2_s, [] {});
+    sim.cancel(id);
+    sim.cancel(id);  // idempotent: the event is only discounted once
+    EXPECT_EQ(sim.pending_events(), 1u);
+    sim.run();
+    EXPECT_EQ(sim.events_processed(), 1u);
+    EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(Simulator, CancelledEventLeavesAccountingCleanAfterSkip) {
+    Simulator sim;
+    const EventId id = sim.at(1_s, [] {});
+    sim.cancel(id);
+    sim.run();  // the cancelled event is skipped and fully retired
+    sim.cancel(id);  // cancelling the skipped id again: no-op
+    sim.at(2_s, [] {});
+    EXPECT_EQ(sim.pending_events(), 1u);
+}
+
+TEST(Simulator, PeakPendingTracksHighWaterMark) {
+    Simulator sim;
+    EXPECT_EQ(sim.peak_pending(), 0u);
+    for (int i = 1; i <= 5; ++i) sim.at(SimTime::seconds(i), [] {});
+    EXPECT_EQ(sim.peak_pending(), 5u);
+    sim.run();
+    EXPECT_EQ(sim.pending_events(), 0u);
+    EXPECT_EQ(sim.peak_pending(), 5u);  // high-water mark is sticky
+}
+
 TEST(Simulator, PastEventsClampToNow) {
     Simulator sim;
     SimTime when{};
