@@ -8,6 +8,9 @@
 //   --json=PATH   - also emit the sweep as the common BENCH_*.json schema
 //   --perf        - include wall-clock/events-per-sec in the JSON (breaks
 //                   byte-identity across machines; off by default)
+//   --trace-dir=D - record every run with the flight recorder and write one
+//                   Chrome trace (Perfetto-loadable) per run into D
+//   --trace       - shorthand for --trace-dir=traces
 //
 // Runtime knobs (environment):
 //   GEOANON_FULL=1           - run the paper's full 900 s simulations
@@ -59,11 +62,19 @@ inline std::size_t jobs_arg(const util::CliArgs& args) {
     return static_cast<std::size_t>(args.get("jobs", std::int64_t{1}));
 }
 
-/// Execute a sweep with the unified --jobs flag.
+/// Execute a sweep with the unified --jobs / --trace flags.
 inline std::vector<experiment::PointRecord> run_sweep(const experiment::SweepSpec& spec,
                                                       const util::CliArgs& args) {
     experiment::SweepRunner::Options opt;
     opt.jobs = jobs_arg(args);
+    if (args.has("trace-dir")) {
+        opt.trace_dir = args.get("trace-dir", std::string{});
+        if (opt.trace_dir.empty() || opt.trace_dir == "true") opt.trace_dir = "traces";
+    } else if (args.get("trace", false)) {
+        opt.trace_dir = "traces";
+    }
+    if (!opt.trace_dir.empty())
+        std::printf("tracing every run into %s/\n", opt.trace_dir.c_str());
     return experiment::SweepRunner(spec, opt).run();
 }
 

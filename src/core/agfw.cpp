@@ -6,6 +6,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/bytes.hpp"
 
 namespace geoanon::core {
@@ -151,6 +153,8 @@ void AgfwAgent::send_hello() {
     auto pkt = std::make_shared<Packet>();
     pkt->type = net::PacketType::kAgfwHello;
     pkt->hello_pseudonym = pseudonyms_.rotate();
+    GEOANON_TRACE(node_.sim(), .type = obs::EventType::kPseudonymRotated,
+                  .node = node_.id(), .detail = pkt->hello_pseudonym);
     pkt->hello_loc = node_.position();
     if (params_.send_velocity_hint) pkt->hello_velocity = node_.velocity();
     pkt->hello_ts = node_.sim().now();
@@ -190,6 +194,9 @@ void AgfwAgent::send_hello() {
     charge(cost, [this, pkt] {
         ++stats_.hello_sent;
         stats_.control_bytes += pkt->wire_bytes;
+        GEOANON_TRACE(node_.sim(), .type = obs::EventType::kHelloSent,
+                      .node = node_.id(), .bytes = pkt->wire_bytes,
+                      .detail = pkt->hello_pseudonym);
         node_.mac().send_broadcast(pkt);
     });
 }
@@ -253,6 +260,9 @@ void AgfwAgent::send_data(NodeId dst, net::FlowId flow, std::uint32_t seq,
                     body = std::move(body)](std::optional<Vec2> loc) mutable {
         if (!loc) {
             ++stats_.drop_no_location;
+            GEOANON_TRACE(node_.sim(), .type = obs::EventType::kNetDrop,
+                          .cause = obs::DropCause::kNoLocation, .node = node_.id(),
+                          .flow = flow, .seq = seq, .detail = dst);
             return;
         }
         // Trapdoor = E_{KU_d}(src, loc_s, tag_d) — §3.2.
@@ -273,6 +283,9 @@ void AgfwAgent::send_data(NodeId dst, net::FlowId flow, std::uint32_t seq,
         pkt->trapdoor = engine_.make_trapdoor(dst, payload.data(), node_.rng());
         pkt->body = std::move(body);
         pkt->wire_bytes = static_cast<std::uint32_t>(net::codec::encoded_size(*pkt));
+        GEOANON_TRACE(node_.sim(), .type = obs::EventType::kAppSend, .node = node_.id(),
+                      .uid = pkt->uid, .flow = pkt->flow, .seq = pkt->seq,
+                      .bytes = pkt->wire_bytes);
 
         charge(engine_.costs().pk_encrypt, [this, pkt] {
             mark_seen(pkt->uid);
@@ -281,6 +294,9 @@ void AgfwAgent::send_data(NodeId dst, net::FlowId flow, std::uint32_t seq,
                     last_attempt(pkt);
                 } else {
                     ++stats_.drop_no_route;
+                    GEOANON_TRACE(node_.sim(), .type = obs::EventType::kNetDrop,
+                                  .cause = obs::DropCause::kNoRoute, .node = node_.id(),
+                                  .uid = pkt->uid, .flow = pkt->flow, .seq = pkt->seq);
                 }
             }
         });
@@ -312,6 +328,9 @@ void AgfwAgent::route_packet(std::shared_ptr<Packet> pkt) {
     if (!forward_with_recovery(p)) {
         if (ls_ && ls_->handle_stuck(p)) return;
         ++stats_.drop_no_route;
+        GEOANON_TRACE(node_.sim(), .type = obs::EventType::kNetDrop,
+                      .cause = obs::DropCause::kNoRoute, .node = node_.id(),
+                      .uid = p->uid);
     }
 }
 
@@ -337,6 +356,9 @@ bool AgfwAgent::try_forward(const PacketPtr& pkt, std::vector<Pseudonym> exclude
         copy->wire_bytes = static_cast<std::uint32_t>(net::codec::encoded_size(*copy));
     }
     ++stats_.forwarded;
+    GEOANON_TRACE(node_.sim(), .type = obs::EventType::kNetForward, .node = node_.id(),
+                  .uid = copy->uid, .flow = copy->flow, .seq = copy->seq,
+                  .bytes = copy->wire_bytes, .detail = next->n);
 
     if (params_.use_net_ack) {
         register_pending(copy, next->n, node_.position(), /*was_perimeter=*/false);
@@ -387,6 +409,9 @@ bool AgfwAgent::try_perimeter(const PacketPtr& pkt, const Vec2& came_from,
     copy->wire_bytes = static_cast<std::uint32_t>(net::codec::encoded_size(*copy));
     ++stats_.forwarded;
     ++stats_.perimeter_forwards;
+    GEOANON_TRACE(node_.sim(), .type = obs::EventType::kNetForward, .node = node_.id(),
+                  .uid = copy->uid, .flow = copy->flow, .seq = copy->seq,
+                  .bytes = copy->wire_bytes, .detail = next->n);
 
     if (params_.use_net_ack) {
         register_pending(copy, next->n, came_from, /*was_perimeter=*/true);
@@ -436,8 +461,12 @@ void AgfwAgent::register_pending(const std::shared_ptr<Packet>& copy, Pseudonym 
 }
 
 void AgfwAgent::broadcast_copy(const std::shared_ptr<Packet>& copy, bool retransmission) {
-    if (retransmission)
+    if (retransmission) {
         ++stats_.retransmissions;
+        GEOANON_TRACE(node_.sim(), .type = obs::EventType::kNetRetransmit,
+                      .node = node_.id(), .uid = copy->uid, .flow = copy->flow,
+                      .seq = copy->seq, .bytes = copy->wire_bytes);
+    }
     stats_.data_bytes += copy->wire_bytes;
     node_.mac().send_broadcast(copy);
 }
@@ -485,6 +514,9 @@ void AgfwAgent::on_ack_timeout(std::uint64_t uid) {
     }
     pending_.erase(uid);
     ++stats_.drop_unreachable;
+    GEOANON_TRACE(node_.sim(), .type = obs::EventType::kNetDrop,
+                  .cause = obs::DropCause::kUnreachable, .node = node_.id(),
+                  .uid = uid);
 }
 
 void AgfwAgent::resolve_ack(std::uint64_t uid, bool implicit) {
@@ -496,6 +528,8 @@ void AgfwAgent::resolve_ack(std::uint64_t uid, bool implicit) {
         ++stats_.implicit_acks;
     else
         ++stats_.explicit_acks_received;
+    GEOANON_TRACE(node_.sim(), .type = obs::EventType::kAckReceived, .node = node_.id(),
+                  .uid = uid, .detail = implicit ? 1u : 0u);
 }
 
 void AgfwAgent::send_ack(std::uint64_t uid) {
@@ -523,6 +557,10 @@ void AgfwAgent::flush_ack_batch() {
     ack->wire_bytes = static_cast<std::uint32_t>(net::codec::encoded_size(*ack));
     ++stats_.acks_sent;
     stats_.control_bytes += ack->wire_bytes;
+    for (const std::uint64_t uid : ack->ack_uids) {
+        GEOANON_TRACE(node_.sim(), .type = obs::EventType::kAckSent, .node = node_.id(),
+                      .uid = uid, .bytes = ack->wire_bytes, .detail = ack->uid);
+    }
     node_.mac().send_broadcast(std::move(ack));
 }
 
@@ -532,20 +570,34 @@ void AgfwAgent::last_attempt(const PacketPtr& pkt) {
     copy->hops = static_cast<std::uint16_t>(pkt->hops + 1);
     ++stats_.last_attempts;
     stats_.data_bytes += copy->wire_bytes;
+    GEOANON_TRACE(node_.sim(), .type = obs::EventType::kLastAttempt, .node = node_.id(),
+                  .uid = copy->uid, .flow = copy->flow, .seq = copy->seq,
+                  .bytes = copy->wire_bytes);
     node_.mac().send_broadcast(std::move(copy));
 }
 
 void AgfwAgent::attempt_trapdoor(const PacketPtr& pkt, std::function<void(bool)> done) {
     ++stats_.trapdoor_attempts;
+    GEOANON_TRACE(node_.sim(), .type = obs::EventType::kTrapdoorAttempt,
+                  .node = node_.id(), .uid = pkt->uid, .flow = pkt->flow,
+                  .seq = pkt->seq);
     charge(engine_.costs().pk_decrypt, [this, pkt, done = std::move(done)] {
         const auto payload = engine_.try_open_trapdoor(node_.id(), pkt->trapdoor);
-        if (payload) ++stats_.trapdoor_opens;
+        if (payload) {
+            ++stats_.trapdoor_opens;
+            GEOANON_TRACE(node_.sim(), .type = obs::EventType::kTrapdoorOpen,
+                          .node = node_.id(), .uid = pkt->uid, .flow = pkt->flow,
+                          .seq = pkt->seq);
+        }
         done(payload.has_value());
     });
 }
 
 void AgfwAgent::deliver_local(const PacketPtr& pkt) {
     ++stats_.delivered;
+    GEOANON_TRACE(node_.sim(), .type = obs::EventType::kNetDeliver, .node = node_.id(),
+                  .uid = pkt->uid, .flow = pkt->flow, .seq = pkt->seq,
+                  .bytes = pkt->wire_bytes);
     if (deliver_) deliver_(node_.id(), *pkt);
 }
 
@@ -600,6 +652,8 @@ void AgfwAgent::handle_committed(const PacketPtr& pkt) {
         if (!forward_with_recovery(pkt)) {
             if (ls_ && ls_->handle_stuck(pkt)) return;
             ++stats_.stop_no_route;
+            GEOANON_TRACE(node_.sim(), .type = obs::EventType::kNetStuck,
+                          .node = node_.id(), .uid = pkt->uid);
         }
         return;
     }
@@ -628,6 +682,9 @@ void AgfwAgent::handle_committed(const PacketPtr& pkt) {
         // Stuck mid-path: do not ACK — the previous hop's timeout will pick
         // an alternate relay (its reroute budget is the recovery §6 defers).
         ++stats_.stop_no_route;
+        GEOANON_TRACE(node_.sim(), .type = obs::EventType::kNetStuck,
+                      .node = node_.id(), .uid = pkt->uid, .flow = pkt->flow,
+                      .seq = pkt->seq);
     }
 }
 
@@ -657,6 +714,34 @@ void AgfwAgent::on_mac_tx_done(const PacketPtr& /*pkt*/, MacAddr /*dst*/,
                                bool /*success*/) {
     // All AGFW transmissions are broadcasts; reliability lives at the
     // network layer (NL-ACK), so MAC completion carries no signal here.
+}
+
+void AgfwAgent::publish_metrics(obs::MetricsRegistry& reg) const {
+    reg.add("agfw.app_sent", stats_.app_sent);
+    reg.add("agfw.delivered", stats_.delivered);
+    reg.add("agfw.forwarded", stats_.forwarded);
+    reg.add("agfw.retransmissions", stats_.retransmissions);
+    reg.add("agfw.drop_no_route", stats_.drop_no_route);
+    reg.add("agfw.drop_unreachable", stats_.drop_unreachable);
+    reg.add("agfw.drop_no_location", stats_.drop_no_location);
+    reg.add("agfw.stop_no_route", stats_.stop_no_route);
+    reg.add("agfw.last_attempts", stats_.last_attempts);
+    reg.add("agfw.trapdoor_attempts", stats_.trapdoor_attempts);
+    reg.add("agfw.trapdoor_opens", stats_.trapdoor_opens);
+    reg.add("agfw.acks_sent", stats_.acks_sent);
+    reg.add("agfw.implicit_acks", stats_.implicit_acks);
+    reg.add("agfw.explicit_acks_received", stats_.explicit_acks_received);
+    reg.add("agfw.hello_sent", stats_.hello_sent);
+    reg.add("agfw.hello_verified", stats_.hello_verified);
+    reg.add("agfw.hello_rejected", stats_.hello_rejected);
+    reg.add("agfw.cert_fetches", stats_.cert_fetches);
+    reg.add("agfw.control_bytes", stats_.control_bytes);
+    reg.add("agfw.data_bytes", stats_.data_bytes);
+    reg.add("agfw.perimeter_entries", stats_.perimeter_entries);
+    reg.add("agfw.perimeter_forwards", stats_.perimeter_forwards);
+    reg.add("agfw.perimeter_recoveries", stats_.perimeter_recoveries);
+    reg.add("agfw.perimeter_ttl_drops", stats_.perimeter_ttl_drops);
+    if (ls_) ls_->publish_metrics(reg);
 }
 
 }  // namespace geoanon::core

@@ -1,120 +1,6 @@
 #include "experiment/json.hpp"
 
-#include <cinttypes>
-#include <cstdio>
-#include <fstream>
-
-#include "util/log.hpp"
-
 namespace geoanon::experiment {
-
-void JsonWriter::separate() {
-    if (after_key_) {
-        after_key_ = false;
-        return;
-    }
-    if (!depth_counts_.empty() && depth_counts_.back()++ > 0) out_ += ',';
-}
-
-JsonWriter& JsonWriter::begin_object() {
-    separate();
-    out_ += '{';
-    depth_counts_.push_back(0);
-    return *this;
-}
-
-JsonWriter& JsonWriter::end_object() {
-    depth_counts_.pop_back();
-    out_ += '}';
-    return *this;
-}
-
-JsonWriter& JsonWriter::begin_array() {
-    separate();
-    out_ += '[';
-    depth_counts_.push_back(0);
-    return *this;
-}
-
-JsonWriter& JsonWriter::end_array() {
-    depth_counts_.pop_back();
-    out_ += ']';
-    return *this;
-}
-
-JsonWriter& JsonWriter::key(const std::string& k) {
-    separate();
-    out_ += '"';
-    out_ += json_escape(k);
-    out_ += "\":";
-    after_key_ = true;
-    return *this;
-}
-
-JsonWriter& JsonWriter::value(const std::string& v) {
-    separate();
-    out_ += '"';
-    out_ += json_escape(v);
-    out_ += '"';
-    return *this;
-}
-
-JsonWriter& JsonWriter::value(const char* v) { return value(std::string(v)); }
-
-JsonWriter& JsonWriter::value(double v) {
-    separate();
-    char buf[40];
-    // %.17g round-trips every finite double and formats identically for
-    // identical bit patterns — the byte-stability the sweep contract needs.
-    std::snprintf(buf, sizeof buf, "%.17g", v);
-    out_ += buf;
-    return *this;
-}
-
-JsonWriter& JsonWriter::value(std::uint64_t v) {
-    separate();
-    char buf[24];
-    std::snprintf(buf, sizeof buf, "%" PRIu64, v);
-    out_ += buf;
-    return *this;
-}
-
-JsonWriter& JsonWriter::value(std::int64_t v) {
-    separate();
-    char buf[24];
-    std::snprintf(buf, sizeof buf, "%" PRId64, v);
-    out_ += buf;
-    return *this;
-}
-
-JsonWriter& JsonWriter::value(bool v) {
-    separate();
-    out_ += v ? "true" : "false";
-    return *this;
-}
-
-std::string json_escape(const std::string& s) {
-    std::string out;
-    out.reserve(s.size());
-    for (const char c : s) {
-        switch (c) {
-            case '"': out += "\\\""; break;
-            case '\\': out += "\\\\"; break;
-            case '\n': out += "\\n"; break;
-            case '\r': out += "\\r"; break;
-            case '\t': out += "\\t"; break;
-            default:
-                if (static_cast<unsigned char>(c) < 0x20) {
-                    char buf[8];
-                    std::snprintf(buf, sizeof buf, "\\u%04x", c);
-                    out += buf;
-                } else {
-                    out += c;
-                }
-        }
-    }
-    return out;
-}
 
 void result_to_json(JsonWriter& w, const workload::ScenarioResult& r, bool include_perf) {
     w.begin_object();
@@ -214,6 +100,30 @@ void result_to_json(JsonWriter& w, const workload::ScenarioResult& r, bool inclu
     w.key("recovery_latency_p95_s").value(r.resilience.recovery_latency_p95_s);
     w.end_object();
 
+    // Full registry snapshot: already name-sorted (std::map), so the block
+    // is byte-stable for identical runs.
+    w.key("metrics").begin_object();
+    w.key("counters").begin_object();
+    for (const auto& [name, v] : r.metrics.counters) w.key(name).value(v);
+    w.end_object();
+    w.key("gauges").begin_object();
+    for (const auto& [name, v] : r.metrics.gauges) w.key(name).value(v);
+    w.end_object();
+    w.key("histograms").begin_object();
+    for (const auto& h : r.metrics.histograms) {
+        w.key(h.name).begin_object();
+        w.key("count").value(h.count);
+        w.key("mean").value(h.mean);
+        w.key("min").value(h.min);
+        w.key("max").value(h.max);
+        w.key("p50").value(h.p50);
+        w.key("p95").value(h.p95);
+        w.key("p99").value(h.p99);
+        w.end_object();
+    }
+    w.end_object();
+    w.end_object();
+
     w.key("events_processed").value(r.events_processed);
     w.key("peak_queue_depth").value(static_cast<std::uint64_t>(r.perf.peak_queue_depth));
 
@@ -280,16 +190,6 @@ std::string sweep_to_json(const std::string& bench_name, const SweepSpec& spec,
     w.end_array();
     w.end_object();
     return w.str();
-}
-
-bool write_text_file(const std::string& path, const std::string& content) {
-    std::ofstream f(path, std::ios::binary | std::ios::trunc);
-    if (!f) {
-        util::log_error("cannot open %s for writing", path.c_str());
-        return false;
-    }
-    f << content << '\n';
-    return static_cast<bool>(f);
 }
 
 }  // namespace geoanon::experiment

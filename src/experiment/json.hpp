@@ -5,39 +5,16 @@
 #include <vector>
 
 #include "experiment/sweep.hpp"
+#include "util/json.hpp"
 #include "workload/scenario.hpp"
 
 namespace geoanon::experiment {
 
-/// Minimal ordered JSON emitter. Keys appear in call order and numbers are
-/// formatted via a fixed printf recipe, so two semantically equal documents
-/// are byte-identical — which is what the sweep determinism contract
-/// (`--jobs 1` vs `--jobs 8`) and the channel equivalence tests compare.
-class JsonWriter {
-  public:
-    JsonWriter& begin_object();
-    JsonWriter& end_object();
-    JsonWriter& begin_array();
-    JsonWriter& end_array();
-    JsonWriter& key(const std::string& k);
-    JsonWriter& value(const std::string& v);
-    JsonWriter& value(const char* v);
-    JsonWriter& value(double v);
-    JsonWriter& value(std::uint64_t v);
-    JsonWriter& value(std::int64_t v);
-    JsonWriter& value(bool v);
-
-    const std::string& str() const { return out_; }
-
-  private:
-    void separate();
-    std::string out_;
-    /// One entry per open container: count of elements emitted so far.
-    std::vector<std::size_t> depth_counts_;
-    bool after_key_{false};
-};
-
-std::string json_escape(const std::string& s);
+// The emitter moved to util/json.hpp so the obs exporters can share it;
+// re-exported here for existing callers.
+using util::JsonWriter;
+using util::json_escape;
+using util::write_text_file;
 
 /// Serialize every deterministic field of a ScenarioResult. With
 /// `include_perf`, the host-side perf block (wall-clock, events/sec, peak
@@ -53,8 +30,5 @@ std::string result_to_json(const workload::ScenarioResult& r, bool include_perf 
 std::string sweep_to_json(const std::string& bench_name, const SweepSpec& spec,
                           const std::vector<PointRecord>& points,
                           bool include_perf = false);
-
-/// Write `content` to `path`; returns false (and logs) on failure.
-bool write_text_file(const std::string& path, const std::string& content);
 
 }  // namespace geoanon::experiment

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
+#include <filesystem>
 #include <mutex>
 #include <thread>
 
+#include "util/json.hpp"
 #include "util/table.hpp"
 
 namespace geoanon::experiment {
@@ -118,6 +121,11 @@ std::vector<PointRecord> SweepRunner::run() {
     }
     if (total == 0) return out;
 
+    if (!options_.trace_dir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(options_.trace_dir, ec);
+    }
+
     std::size_t jobs = options_.jobs != 0 ? options_.jobs
                                           : std::max(1u, std::thread::hardware_concurrency());
     jobs = std::min(jobs, total);
@@ -131,9 +139,17 @@ std::vector<PointRecord> SweepRunner::run() {
             if (i >= total) return;
             const std::size_t point = i / seeds;
             const std::size_t slot = i % seeds;
-            const workload::ScenarioConfig cfg = spec_.config_for(point, slot);
+            workload::ScenarioConfig cfg = spec_.config_for(point, slot);
+            if (!options_.trace_dir.empty()) cfg.trace.enabled = true;
             workload::ScenarioRunner runner(cfg);
             out[point].runs[slot] = RunRecord{cfg.seed, runner.run()};
+            if (!options_.trace_dir.empty()) {
+                char name[64];
+                std::snprintf(name, sizeof name, "point%04zu_seed%llu.trace.json", point,
+                              static_cast<unsigned long long>(cfg.seed));
+                util::write_text_file(options_.trace_dir + "/" + name,
+                                      runner.chrome_trace_json());
+            }
             const std::size_t finished = done.fetch_add(1) + 1;
             if (options_.on_progress) {
                 const std::lock_guard<std::mutex> lock(progress_mutex);

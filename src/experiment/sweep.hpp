@@ -83,6 +83,11 @@ class SweepRunner {
         std::size_t jobs{1};  ///< worker threads; 0 = hardware_concurrency
         /// Called after each completed run (serialized); for progress bars.
         std::function<void(std::size_t done, std::size_t total)> on_progress;
+        /// When non-empty: force tracing on for every run and write one
+        /// Chrome trace per run to `<trace_dir>/point%04zu_seed%llu.trace.json`.
+        /// File names depend only on grid position, and each trace only on
+        /// its own run, so artifacts are byte-identical for any `jobs`.
+        std::string trace_dir;
     };
 
     explicit SweepRunner(SweepSpec spec) : SweepRunner(std::move(spec), Options{}) {}

@@ -4,6 +4,9 @@
 #include <cmath>
 #include <numbers>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace geoanon::fault {
 
 namespace {
@@ -40,6 +43,8 @@ void FaultInjector::crash_node(NodeId node, SimTime duration) {
     ++down_count_;
     ++stats_.node_crashes;
     ++stats_.faults_injected;
+    GEOANON_TRACE(network_.sim(), .type = obs::EventType::kFaultFired, .node = node,
+                  .detail = static_cast<std::uint64_t>(obs::FaultKind::kCrash));
     network_.node(node).set_up(false);
     if (duration > SimTime{})
         network_.sim().after(duration, [this, node] { recover_node(node); });
@@ -50,6 +55,8 @@ void FaultInjector::recover_node(NodeId node) {
     down_[node] = false;
     --down_count_;
     ++stats_.node_recoveries;
+    GEOANON_TRACE(network_.sim(), .type = obs::EventType::kFaultFired, .node = node,
+                  .detail = static_cast<std::uint64_t>(obs::FaultKind::kRecover));
     network_.node(node).set_up(true);
     watch_recovery(node, network_.sim().now());
 }
@@ -120,12 +127,19 @@ void FaultInjector::trigger_als_outage(const FaultPlan::AlsOutage& outage) {
             any = true;
         }
     }
-    if (any) ++stats_.als_outages;
+    if (any) {
+        ++stats_.als_outages;
+        GEOANON_TRACE(network_.sim(), .type = obs::EventType::kFaultFired,
+                      .node = outage.target,
+                      .detail = static_cast<std::uint64_t>(obs::FaultKind::kAlsOutage));
+    }
 }
 
 void FaultInjector::install_gps_noise() {
     const FaultPlan::GpsNoise g = *plan_.gps_noise;
     ++stats_.faults_injected;
+    GEOANON_TRACE(network_.sim(), .type = obs::EventType::kFaultFired,
+                  .detail = static_cast<std::uint64_t>(obs::FaultKind::kGpsNoise));
     for (auto& node : network_.nodes()) {
         const NodeId id = node->id();
         // Deterministic at any query time: the offset is a pure function of
@@ -150,8 +164,16 @@ void FaultInjector::install_gps_noise() {
 
 void FaultInjector::install_drop_model() {
     if (!plan_.gilbert_elliott && plan_.jams.empty()) return;
-    if (plan_.gilbert_elliott) ++stats_.faults_injected;
+    if (plan_.gilbert_elliott) {
+        ++stats_.faults_injected;
+        GEOANON_TRACE(network_.sim(), .type = obs::EventType::kFaultFired,
+                      .detail = static_cast<std::uint64_t>(obs::FaultKind::kLossBurst));
+    }
     stats_.faults_injected += plan_.jams.size();
+    for (std::size_t i = 0; i < plan_.jams.size(); ++i) {
+        GEOANON_TRACE(network_.sim(), .type = obs::EventType::kFaultFired,
+                      .detail = static_cast<std::uint64_t>(obs::FaultKind::kJam));
+    }
     network_.channel().set_drop_model(
         [this](const phy::Frame&, const Vec2&, const Vec2& rx_pos) {
             return should_drop(rx_pos);
@@ -185,6 +207,17 @@ bool FaultInjector::should_drop(const Vec2& rx_pos) {
         }
     }
     return false;
+}
+
+void FaultInjector::publish_metrics(obs::MetricsRegistry& reg) const {
+    reg.add("fault.faults_injected", stats_.faults_injected);
+    reg.add("fault.node_crashes", stats_.node_crashes);
+    reg.add("fault.node_recoveries", stats_.node_recoveries);
+    reg.add("fault.als_outages", stats_.als_outages);
+    reg.add("fault.churn_skipped", stats_.churn_skipped);
+    reg.add("fault.frames_lost_loss_burst", stats_.frames_lost_loss_burst);
+    reg.add("fault.frames_lost_jam", stats_.frames_lost_jam);
+    reg.histogram("fault.recovery_s").observe_all(stats_.recovery_s);
 }
 
 void FaultInjector::advance_ge_chain(SimTime now) {

@@ -150,6 +150,9 @@ class FaultInjector {
     bool is_down(NodeId node) const { return down_[node]; }
     int down_count() const { return down_count_; }
     const Stats& stats() const { return stats_; }
+    /// Fold the injector's counters into the run metrics (fault.*), plus the
+    /// fault.recovery_s histogram.
+    void publish_metrics(obs::MetricsRegistry& reg) const;
 
   private:
     bool should_drop(const Vec2& rx_pos);

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace geoanon::mac {
 
 using phy::Frame;
@@ -32,6 +35,11 @@ void Mac80211::set_enabled(bool enabled) {
     // Crash semantics: lose the interface queue without notifying the
     // network layer, abandon any exchange in progress, and forget the
     // contention and dedup state a rebooted interface would not have.
+    for (const TxItem& item : queue_) {
+        GEOANON_TRACE(sim_, .type = obs::EventType::kMacDrop,
+                      .cause = obs::DropCause::kNodeDown, .node = trace_node_,
+                      .uid = item.pkt ? item.pkt->uid : 0);
+    }
     queue_.clear();
     if (access_event_ != sim::kInvalidEvent) {
         sim_.cancel(access_event_);
@@ -57,10 +65,16 @@ bool Mac80211::enqueue(TxItem item) {
     if (!enabled_) return false;
     if (queue_.size() >= params_.queue_limit) {
         ++stats_.drop_queue_full;
+        GEOANON_TRACE(sim_, .type = obs::EventType::kMacDrop,
+                      .cause = obs::DropCause::kQueueFull, .node = trace_node_,
+                      .uid = item.pkt ? item.pkt->uid : 0);
         if (tx_done_handler_) tx_done_handler_(item.pkt, item.dst, false);
         return false;
     }
     item.seq = next_seq_++;
+    GEOANON_TRACE(sim_, .type = obs::EventType::kMacEnqueue, .node = trace_node_,
+                  .uid = item.pkt ? item.pkt->uid : 0, .seq = item.seq,
+                  .detail = item.dst);
     queue_.push_back(std::move(item));
     try_begin_access();
     return true;
@@ -220,6 +234,9 @@ void Mac80211::on_timeout() {
     ++stats_.retries;
     if (item.retries > params_.retry_limit) {
         ++stats_.unicast_drop_retry;
+        GEOANON_TRACE(sim_, .type = obs::EventType::kMacDrop,
+                      .cause = obs::DropCause::kMacRetry, .node = trace_node_,
+                      .uid = item.pkt ? item.pkt->uid : 0, .seq = item.seq);
         finish_head(false);
         return;
     }
@@ -336,6 +353,21 @@ void Mac80211::on_frame(const Frame& f) {
             break;
         }
     }
+}
+
+void Mac80211::publish_metrics(obs::MetricsRegistry& reg) const {
+    reg.add("mac.unicast_accepted", stats_.unicast_accepted);
+    reg.add("mac.broadcast_accepted", stats_.broadcast_accepted);
+    reg.add("mac.unicast_delivered", stats_.unicast_delivered);
+    reg.add("mac.unicast_drop_retry", stats_.unicast_drop_retry);
+    reg.add("mac.drop_queue_full", stats_.drop_queue_full);
+    reg.add("mac.rts_sent", stats_.rts_sent);
+    reg.add("mac.cts_sent", stats_.cts_sent);
+    reg.add("mac.data_sent", stats_.data_sent);
+    reg.add("mac.ack_sent", stats_.ack_sent);
+    reg.add("mac.retries", stats_.retries);
+    reg.add("mac.rx_delivered", stats_.rx_delivered);
+    reg.add("mac.rx_duplicates", stats_.rx_duplicates);
 }
 
 }  // namespace geoanon::mac

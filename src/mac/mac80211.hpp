@@ -91,6 +91,13 @@ class Mac80211 {
     const MacStats& stats() const { return stats_; }
     std::size_t queue_length() const { return queue_.size(); }
 
+    /// Node id used for trace attribution only (the MAC address is the
+    /// broadcast address in anonymous mode, so it can't serve as identity).
+    void set_trace_node(net::NodeId id) { trace_node_ = id; }
+
+    /// Fold this interface's counters into the run metrics (mac.*).
+    void publish_metrics(obs::MetricsRegistry& reg) const;
+
     /// Fault injection: disabling models a crashed interface — the queue is
     /// flushed without tx-done notifications (silent halt), any exchange in
     /// progress is abandoned, and sends are refused until re-enabled.
@@ -148,6 +155,7 @@ class Mac80211 {
     std::deque<TxItem> queue_;
     Phase phase_{Phase::kIdle};
     bool enabled_{true};
+    net::NodeId trace_node_{net::kInvalidNode};
     int cw_;
     int backoff_slots_{-1};
     SimTime access_difs_end_{};        ///< when the DIFS of the pending access ends

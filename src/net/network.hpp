@@ -37,6 +37,14 @@ class Network {
     /// Start all installed agents.
     void start_agents();
 
+    /// Install (or remove, with nullptr) the trace recorder every layer
+    /// records into through the simulator hook.
+    void set_trace(obs::TraceRecorder* recorder) { sim_.set_trace(recorder); }
+
+    /// Fold channel + all radio/MAC counters into the run metrics (phy.*,
+    /// mac.*). Agents publish their own layer prefixes separately.
+    void publish_metrics(obs::MetricsRegistry& reg) const;
+
   private:
     util::Rng rng_;
     sim::Simulator sim_;

@@ -16,7 +16,10 @@ Node::Node(sim::Simulator& sim, phy::Channel& channel, NodeId id,
       mobility_(std::move(mobility)),
       rng_(rng),
       radio_(sim, channel, [this] { return mobility_->position_at(sim_.now()); }),
-      mac_(sim, radio_, mac_addr_for(id), mac_params, rng_.fork()) {}
+      mac_(sim, radio_, mac_addr_for(id), mac_params, rng_.fork()) {
+    radio_.set_trace_node(id_);
+    mac_.set_trace_node(id_);
+}
 
 void Node::set_up(bool up) {
     if (up == up_) return;

@@ -1,0 +1,135 @@
+#include "obs/flight.hpp"
+
+#include <algorithm>
+
+namespace geoanon::obs {
+
+namespace {
+/// Events that change which node holds (or releases) custody of the packet.
+bool is_custody(EventType t) {
+    switch (t) {
+        case EventType::kAppSend:
+        case EventType::kNetForward:
+        case EventType::kNetRetransmit:
+        case EventType::kLastAttempt:
+        case EventType::kNetStuck:
+        case EventType::kNetDeliver:
+            return true;
+        default:
+            return false;
+    }
+}
+
+void derive(Flight& f) {
+    const Event* last_drop = nullptr;
+    const Event* last_custody = nullptr;
+    for (const Event& e : f.events) {
+        switch (e.type) {
+            case EventType::kAppSend:
+                f.is_data = true;
+                f.origin = e.node;
+                f.flow = e.flow;
+                f.seq = e.seq;
+                break;
+            case EventType::kNetDeliver:
+                f.status = Flight::Status::kDelivered;
+                f.end_node = e.node;
+                break;
+            case EventType::kNetDrop:
+            case EventType::kMacDrop:
+                last_drop = &e;
+                break;
+            default:
+                break;
+        }
+        if (is_custody(e.type)) {
+            last_custody = &e;
+            if (f.hop_chain.empty() || f.hop_chain.back() != e.node)
+                f.hop_chain.push_back(e.node);
+        }
+    }
+    if (f.status == Flight::Status::kDelivered) {
+        f.cause = DropCause::kNone;
+        return;
+    }
+    if (last_drop != nullptr) {
+        f.status = Flight::Status::kDropped;
+        f.cause = last_drop->cause;
+        f.end_node = last_drop->node;
+        return;
+    }
+    // No deliver, no explicit drop: the flight went silent. Name the death
+    // from the last custody event — these are real protocol outcomes (an
+    // unanswered last attempt, a committed copy nobody picked up), not
+    // missing instrumentation.
+    if (last_custody == nullptr) return;  // only phy/ack echoes: leave in-flight
+    f.end_node = last_custody->node;
+    switch (last_custody->type) {
+        case EventType::kLastAttempt:
+            f.status = Flight::Status::kDropped;
+            f.cause = DropCause::kLastAttemptUnanswered;
+            break;
+        case EventType::kNetStuck:
+            f.status = Flight::Status::kDropped;
+            f.cause = DropCause::kRelayStuck;
+            break;
+        case EventType::kNetForward:
+        case EventType::kNetRetransmit:
+            f.status = Flight::Status::kDropped;
+            f.cause = DropCause::kNextHopSilent;
+            break;
+        default:
+            break;  // kAppSend only: still queued below the net layer
+    }
+}
+}  // namespace
+
+FlightIndex::FlightIndex(const std::vector<Event>& events) {
+    for (const Event& e : events) {
+        if (e.uid == 0) continue;
+        auto [it, fresh] = by_uid_.try_emplace(e.uid, flights_.size());
+        if (fresh) {
+            flights_.emplace_back();
+            flights_.back().uid = e.uid;
+        }
+        flights_[it->second].events.push_back(e);
+    }
+    for (Flight& f : flights_) {
+        std::sort(f.events.begin(), f.events.end(),
+                  [](const Event& a, const Event& b) { return a.id < b.id; });
+        f.first = f.events.front().t;
+        f.last = f.events.back().t;
+        derive(f);
+    }
+    std::sort(flights_.begin(), flights_.end(),
+              [](const Flight& a, const Flight& b) { return a.uid < b.uid; });
+    by_uid_.clear();
+    for (std::size_t i = 0; i < flights_.size(); ++i) by_uid_[flights_[i].uid] = i;
+}
+
+const Flight* FlightIndex::find(std::uint64_t uid) const {
+    const auto it = by_uid_.find(uid);
+    return it == by_uid_.end() ? nullptr : &flights_[it->second];
+}
+
+std::vector<const Flight*> FlightIndex::undelivered_data() const {
+    std::vector<const Flight*> out;
+    for (const Flight& f : flights_)
+        if (f.is_data && f.status != Flight::Status::kDelivered) out.push_back(&f);
+    return out;
+}
+
+std::vector<const Flight*> FlightIndex::worst_latency(std::size_t n) const {
+    std::vector<const Flight*> out;
+    for (const Flight& f : flights_)
+        if (f.is_data && f.status == Flight::Status::kDelivered) out.push_back(&f);
+    std::sort(out.begin(), out.end(), [](const Flight* a, const Flight* b) {
+        const double la = a->latency_ms(), lb = b->latency_ms();
+        if (la != lb) return la > lb;
+        return a->uid < b->uid;
+    });
+    if (out.size() > n) out.resize(n);
+    return out;
+}
+
+}  // namespace geoanon::obs

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace geoanon::obs {
+
+/// Reconstructed life of one packet uid: every event that mentioned it, in
+/// record order, condensed into a status, a hop chain, and a drop cause.
+struct Flight {
+    enum class Status : std::uint8_t {
+        kDelivered,  ///< at least one kNetDeliver
+        kDropped,    ///< explicit drop event, or a derived terminal cause
+        kInFlight,   ///< still pending when the trace ended
+    };
+
+    std::uint64_t uid{0};
+    net::FlowId flow{0};
+    std::uint32_t seq{0};
+    bool is_data{false};  ///< originated by the application (kAppSend seen)
+
+    Status status{Status::kInFlight};
+    /// For kDropped: the last explicit drop cause, or a derived one
+    /// (kLastAttemptUnanswered / kNextHopSilent / kRelayStuck) when the
+    /// flight just went silent. kNone only while genuinely in flight.
+    DropCause cause{DropCause::kNone};
+    net::NodeId origin{net::kInvalidNode};
+    net::NodeId end_node{net::kInvalidNode};  ///< deliver/drop/last-custody node
+    SimTime first{};
+    SimTime last{};
+
+    /// Nodes that took custody, in order: origin, then each forwarder, then
+    /// the delivering node. Consecutive duplicates collapsed.
+    std::vector<net::NodeId> hop_chain;
+    /// Every event mentioning this uid, sorted by id. Per-hop causality —
+    /// which receptions collided, which retransmissions fired — reads
+    /// directly off this list.
+    std::vector<Event> events;
+
+    double latency_ms() const { return (last - first).to_millis(); }
+};
+
+/// Indexes a trace's events by packet uid and derives one Flight per uid.
+/// Events with uid 0 (hellos, pseudonym rotations, faults) are not indexed.
+class FlightIndex {
+  public:
+    explicit FlightIndex(const std::vector<Event>& events);
+
+    const std::vector<Flight>& flights() const { return flights_; }
+    const Flight* find(std::uint64_t uid) const;
+
+    /// Application data flights that never reached a destination, in uid
+    /// order — the "why did packet N die" work list.
+    std::vector<const Flight*> undelivered_data() const;
+    /// Delivered data flights sorted by descending latency, capped at n.
+    std::vector<const Flight*> worst_latency(std::size_t n) const;
+
+  private:
+    std::vector<Flight> flights_;  ///< sorted by uid
+    std::unordered_map<std::uint64_t, std::size_t> by_uid_;
+};
+
+}  // namespace geoanon::obs

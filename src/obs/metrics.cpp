@@ -1,0 +1,33 @@
+#include "obs/metrics.hpp"
+
+namespace geoanon::obs {
+
+std::uint64_t MetricsSnapshot::counter(const std::string& name) const {
+    for (const auto& [k, v] : counters)
+        if (k == name) return v;
+    return 0;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+    MetricsSnapshot snap;
+    snap.counters.reserve(counters_.size());
+    for (const auto& [name, v] : counters_) snap.counters.emplace_back(name, v);
+    snap.gauges.reserve(gauges_.size());
+    for (const auto& [name, v] : gauges_) snap.gauges.emplace_back(name, v);
+    snap.histograms.reserve(hists_.size());
+    for (const auto& [name, h] : hists_) {
+        MetricsSnapshot::Hist out;
+        out.name = name;
+        out.count = h.stat().count();
+        out.mean = h.stat().mean();
+        out.min = h.stat().min();
+        out.max = h.stat().max();
+        out.p50 = h.sampler().percentile(50);
+        out.p95 = h.sampler().percentile(95);
+        out.p99 = h.sampler().percentile(99);
+        snap.histograms.push_back(std::move(out));
+    }
+    return snap;
+}
+
+}  // namespace geoanon::obs

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace geoanon::obs {
+
+/// One observed distribution: O(1) running moments (RunningStat) plus the
+/// full sample set for exact percentiles (Sampler).
+class Histogram {
+  public:
+    void observe(double x) {
+        stat_.add(x);
+        sampler_.add(x);
+    }
+    /// Fold a whole Sampler in (e.g. a layer-owned latency sampler).
+    void observe_all(const util::Sampler& s) {
+        for (const double x : s.samples()) observe(x);
+    }
+
+    const util::RunningStat& stat() const { return stat_; }
+    const util::Sampler& sampler() const { return sampler_; }
+
+  private:
+    util::RunningStat stat_;
+    util::Sampler sampler_;
+};
+
+/// Point-in-time copy of a registry, sorted by name — the deterministic
+/// form stored in ScenarioResult and serialized to JSON.
+struct MetricsSnapshot {
+    struct Hist {
+        std::string name;
+        std::uint64_t count{0};
+        double mean{0.0};
+        double min{0.0};
+        double max{0.0};
+        double p50{0.0};
+        double p95{0.0};
+        double p99{0.0};
+    };
+
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+    std::vector<std::pair<std::string, double>> gauges;
+    std::vector<Hist> histograms;
+
+    /// Counter lookup; 0 when absent (snapshots never store zero-defaults).
+    std::uint64_t counter(const std::string& name) const;
+};
+
+/// Name-keyed counters/gauges/histograms every layer publishes into at the
+/// end of a run (Channel, Mac80211, agents, LocationService, FaultInjector
+/// each expose publish_metrics(MetricsRegistry&)). Names are dotted
+/// layer-prefixed strings ("mac.retries", "agfw.drop_unreachable"); the
+/// std::map keeps snapshots sorted and therefore byte-stable in JSON.
+class MetricsRegistry {
+  public:
+    void add(const std::string& name, std::uint64_t delta) { counters_[name] += delta; }
+    void set_gauge(const std::string& name, double v) { gauges_[name] = v; }
+    Histogram& histogram(const std::string& name) { return hists_[name]; }
+    void observe(const std::string& name, double x) { hists_[name].observe(x); }
+
+    /// Counter value; 0 when never touched.
+    std::uint64_t counter(const std::string& name) const {
+        const auto it = counters_.find(name);
+        return it == counters_.end() ? 0 : it->second;
+    }
+
+    MetricsSnapshot snapshot() const;
+
+  private:
+    std::map<std::string, std::uint64_t> counters_;
+    std::map<std::string, double> gauges_;
+    std::map<std::string, Histogram> hists_;
+};
+
+}  // namespace geoanon::obs

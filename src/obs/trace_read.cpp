@@ -1,0 +1,326 @@
+#include "obs/trace_read.hpp"
+
+#include <cctype>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace geoanon::obs {
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+    for (const auto& [k, v] : object)
+        if (k == key) return &v;
+    return nullptr;
+}
+
+namespace {
+
+class Parser {
+  public:
+    Parser(const std::string& text, std::string& error) : text_(text), error_(error) {}
+
+    bool run(JsonValue& out) {
+        skip_ws();
+        if (!value(out)) return false;
+        skip_ws();
+        if (pos_ != text_.size()) return fail("trailing garbage");
+        return true;
+    }
+
+  private:
+    bool fail(const char* msg) {
+        char buf[96];
+        std::snprintf(buf, sizeof(buf), "%s at offset %zu", msg, pos_);
+        error_ = buf;
+        return false;
+    }
+
+    void skip_ws() {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+                text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    bool literal(const char* word) {
+        const std::size_t n = std::strlen(word);
+        if (text_.compare(pos_, n, word) != 0) return fail("bad literal");
+        pos_ += n;
+        return true;
+    }
+
+    bool value(JsonValue& out) {
+        if (pos_ >= text_.size()) return fail("unexpected end of input");
+        switch (text_[pos_]) {
+            case '{': return object(out);
+            case '[': return array(out);
+            case '"':
+                out.kind = JsonValue::Kind::kString;
+                return string(out.string);
+            case 't':
+                out.kind = JsonValue::Kind::kBool;
+                out.boolean = true;
+                return literal("true");
+            case 'f':
+                out.kind = JsonValue::Kind::kBool;
+                out.boolean = false;
+                return literal("false");
+            case 'n':
+                out.kind = JsonValue::Kind::kNull;
+                return literal("null");
+            default: return number(out);
+        }
+    }
+
+    bool object(JsonValue& out) {
+        out.kind = JsonValue::Kind::kObject;
+        ++pos_;  // '{'
+        skip_ws();
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skip_ws();
+            std::string key;
+            if (pos_ >= text_.size() || text_[pos_] != '"') return fail("expected key");
+            if (!string(key)) return false;
+            skip_ws();
+            if (pos_ >= text_.size() || text_[pos_] != ':') return fail("expected ':'");
+            ++pos_;
+            skip_ws();
+            JsonValue v;
+            if (!value(v)) return false;
+            out.object.emplace_back(std::move(key), std::move(v));
+            skip_ws();
+            if (pos_ >= text_.size()) return fail("unterminated object");
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or '}'");
+        }
+    }
+
+    bool array(JsonValue& out) {
+        out.kind = JsonValue::Kind::kArray;
+        ++pos_;  // '['
+        skip_ws();
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skip_ws();
+            JsonValue v;
+            if (!value(v)) return false;
+            out.array.push_back(std::move(v));
+            skip_ws();
+            if (pos_ >= text_.size()) return fail("unterminated array");
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == ']') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or ']'");
+        }
+    }
+
+    bool string(std::string& out) {
+        ++pos_;  // opening quote
+        out.clear();
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c == '"') {
+                ++pos_;
+                return true;
+            }
+            if (c == '\\') {
+                ++pos_;
+                if (pos_ >= text_.size()) return fail("bad escape");
+                switch (text_[pos_]) {
+                    case '"': out += '"'; break;
+                    case '\\': out += '\\'; break;
+                    case '/': out += '/'; break;
+                    case 'n': out += '\n'; break;
+                    case 'r': out += '\r'; break;
+                    case 't': out += '\t'; break;
+                    case 'b': out += '\b'; break;
+                    case 'f': out += '\f'; break;
+                    case 'u': {
+                        if (pos_ + 4 >= text_.size()) return fail("bad \\u escape");
+                        unsigned cp = 0;
+                        for (int i = 1; i <= 4; ++i) {
+                            const char h = text_[pos_ + i];
+                            cp <<= 4;
+                            if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+                            else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+                            else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+                            else return fail("bad \\u escape");
+                        }
+                        pos_ += 4;
+                        // The exporter only emits \u00xx for control bytes.
+                        if (cp > 0xff) return fail("unsupported \\u escape");
+                        out += static_cast<char>(cp);
+                        break;
+                    }
+                    default: return fail("bad escape");
+                }
+                ++pos_;
+                continue;
+            }
+            out += c;
+            ++pos_;
+        }
+        return fail("unterminated string");
+    }
+
+    bool number(JsonValue& out) {
+        const std::size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+                text_[pos_] == '+' || text_[pos_] == '-'))
+            ++pos_;
+        if (pos_ == start) return fail("expected value");
+        char* end = nullptr;
+        const std::string tok = text_.substr(start, pos_ - start);
+        out.kind = JsonValue::Kind::kNumber;
+        out.number = std::strtod(tok.c_str(), &end);
+        if (end == nullptr || *end != '\0') return fail("bad number");
+        return true;
+    }
+
+    const std::string& text_;
+    std::string& error_;
+    std::size_t pos_{0};
+};
+
+bool schema_fail(std::string& error, std::size_t index, const char* msg) {
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "traceEvents[%zu]: %s", index, msg);
+    error = buf;
+    return false;
+}
+
+/// Fetch a numeric member as uint64; false if absent / not a number /
+/// negative / fractional.
+bool get_u64(const JsonValue& obj, const char* key, std::uint64_t& out) {
+    const JsonValue* v = obj.find(key);
+    if (v == nullptr || v->kind != JsonValue::Kind::kNumber) return false;
+    if (v->number < 0) return false;
+    out = static_cast<std::uint64_t>(v->number);
+    if (static_cast<double>(out) != v->number) return false;
+    return true;
+}
+
+}  // namespace
+
+bool parse_json(const std::string& text, JsonValue& out, std::string& error) {
+    return Parser(text, error).run(out);
+}
+
+bool load_chrome_trace(const std::string& text, LoadedTrace& out, std::string& error) {
+    JsonValue root;
+    if (!parse_json(text, root, error)) return false;
+    if (root.kind != JsonValue::Kind::kObject) {
+        error = "top level is not an object";
+        return false;
+    }
+
+    const JsonValue* other = root.find("otherData");
+    if (other == nullptr || other->kind != JsonValue::Kind::kObject) {
+        error = "missing otherData object";
+        return false;
+    }
+    if (const JsonValue* s = other->find("scheme");
+        s != nullptr && s->kind == JsonValue::Kind::kString)
+        out.meta.scheme = s->string;
+    std::uint64_t u = 0;
+    if (get_u64(*other, "seed", u)) out.meta.seed = u;
+    if (get_u64(*other, "num_nodes", u)) out.meta.num_nodes = static_cast<std::uint32_t>(u);
+    if (const JsonValue* s = other->find("sim_seconds");
+        s != nullptr && s->kind == JsonValue::Kind::kNumber)
+        out.meta.sim_seconds = s->number;
+    if (get_u64(*other, "evicted", u)) out.meta.evicted = u;
+
+    const JsonValue* evs = root.find("traceEvents");
+    if (evs == nullptr || evs->kind != JsonValue::Kind::kArray) {
+        error = "missing traceEvents array";
+        return false;
+    }
+
+    out.events.clear();
+    out.events.reserve(evs->array.size());
+    std::uint64_t prev_id = 0;
+    for (std::size_t i = 0; i < evs->array.size(); ++i) {
+        const JsonValue& je = evs->array[i];
+        if (je.kind != JsonValue::Kind::kObject) return schema_fail(error, i, "not an object");
+
+        Event e;
+        const JsonValue* name = je.find("name");
+        if (name == nullptr || name->kind != JsonValue::Kind::kString)
+            return schema_fail(error, i, "missing name");
+        if (!event_type_from_name(name->string.c_str(), e.type))
+            return schema_fail(error, i, "unknown event type");
+
+        const JsonValue* ph = je.find("ph");
+        if (ph == nullptr || ph->kind != JsonValue::Kind::kString || ph->string != "i")
+            return schema_fail(error, i, "ph is not \"i\"");
+
+        const JsonValue* ts = je.find("ts");
+        if (ts == nullptr || ts->kind != JsonValue::Kind::kNumber || ts->number < 0)
+            return schema_fail(error, i, "bad ts");
+        e.t = SimTime::nanos(static_cast<std::int64_t>(ts->number * 1000.0));
+
+        const JsonValue* tid = je.find("tid");
+        if (tid == nullptr || tid->kind != JsonValue::Kind::kNumber)
+            return schema_fail(error, i, "bad tid");
+        e.node = tid->number < 0 ? net::kInvalidNode
+                                 : static_cast<net::NodeId>(tid->number);
+
+        const JsonValue* args = je.find("args");
+        if (args == nullptr || args->kind != JsonValue::Kind::kObject)
+            return schema_fail(error, i, "missing args");
+        if (!get_u64(*args, "id", e.id) || e.id == 0)
+            return schema_fail(error, i, "bad args.id");
+        if (e.id <= prev_id) return schema_fail(error, i, "ids not strictly increasing");
+        prev_id = e.id;
+        if (!get_u64(*args, "uid", e.uid)) return schema_fail(error, i, "bad args.uid");
+        std::uint64_t tmp = 0;
+        if (!get_u64(*args, "flow", tmp)) return schema_fail(error, i, "bad args.flow");
+        e.flow = static_cast<net::FlowId>(tmp);
+        if (!get_u64(*args, "seq", tmp)) return schema_fail(error, i, "bad args.seq");
+        e.seq = static_cast<std::uint32_t>(tmp);
+        if (!get_u64(*args, "bytes", tmp)) return schema_fail(error, i, "bad args.bytes");
+        e.bytes = static_cast<std::uint32_t>(tmp);
+
+        const JsonValue* cause = args->find("cause");
+        if (cause == nullptr || cause->kind != JsonValue::Kind::kString)
+            return schema_fail(error, i, "missing args.cause");
+        if (!drop_cause_from_name(cause->string.c_str(), e.cause))
+            return schema_fail(error, i, "unknown drop cause");
+
+        const JsonValue* detail = args->find("detail");
+        if (detail == nullptr || detail->kind != JsonValue::Kind::kString ||
+            detail->string.rfind("0x", 0) != 0)
+            return schema_fail(error, i, "bad args.detail");
+        char* end = nullptr;
+        e.detail = std::strtoull(detail->string.c_str() + 2, &end, 16);
+        if (end == nullptr || *end != '\0') return schema_fail(error, i, "bad args.detail");
+
+        out.events.push_back(e);
+    }
+    return true;
+}
+
+}  // namespace geoanon::obs

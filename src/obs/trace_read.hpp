@@ -1,0 +1,46 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/export.hpp"
+#include "obs/trace.hpp"
+
+namespace geoanon::obs {
+
+/// Minimal recursive-descent JSON value — just enough to read back the
+/// Chrome trace export (and to validate third-party edits of it). Objects
+/// keep insertion order; numbers stay double (uint64 details travel as hex
+/// strings precisely so this stays lossless).
+struct JsonValue {
+    enum class Kind : std::uint8_t { kNull, kBool, kNumber, kString, kArray, kObject };
+
+    Kind kind{Kind::kNull};
+    bool boolean{false};
+    double number{0.0};
+    std::string string;
+    std::vector<JsonValue> array;
+    std::vector<std::pair<std::string, JsonValue>> object;
+
+    /// First member with this key, or nullptr. O(members).
+    const JsonValue* find(const std::string& key) const;
+};
+
+/// Parse `text`; returns false and sets `error` (with offset) on malformed
+/// input. Trailing garbage after the top-level value is an error.
+bool parse_json(const std::string& text, JsonValue& out, std::string& error);
+
+/// A Chrome-trace file decoded back into typed events.
+struct LoadedTrace {
+    TraceMeta meta;
+    std::vector<Event> events;  ///< in file (= id) order
+};
+
+/// Decode and schema-check a Chrome trace produced by to_chrome_trace_json.
+/// On any violation — missing key, wrong type, unknown event/cause name,
+/// non-monotonic ids — returns false with a one-line diagnostic in `error`.
+bool load_chrome_trace(const std::string& text, LoadedTrace& out, std::string& error);
+
+}  // namespace geoanon::obs

@@ -5,7 +5,14 @@
 #include <cmath>
 #include <cstdlib>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace geoanon::phy {
+
+namespace {
+std::uint64_t frame_uid(const Frame& f) { return f.payload ? f.payload->uid : 0; }
+}  // namespace
 
 Radio::Radio(sim::Simulator& sim, Channel& channel, PositionFn position)
     : sim_(sim), channel_(channel), position_(std::move(position)) {
@@ -82,11 +89,23 @@ void Radio::energy_end(std::uint64_t tx_id) {
         if (ok) {
             if (!enabled_) {
                 ++stats_.frames_missed_down;
+                GEOANON_TRACE(sim_, .type = obs::EventType::kPhyDrop,
+                              .cause = obs::DropCause::kNodeDown, .node = trace_node_,
+                              .uid = frame_uid(frame), .bytes = frame.wire_bytes,
+                              .detail = static_cast<std::uint64_t>(frame.type));
             } else {
                 ++stats_.frames_delivered;
                 channel_.note_delivery();
+                GEOANON_TRACE(sim_, .type = obs::EventType::kPhyRx, .node = trace_node_,
+                              .uid = frame_uid(frame), .bytes = frame.wire_bytes,
+                              .detail = static_cast<std::uint64_t>(frame.type));
                 if (on_rx_) on_rx_(frame);
             }
+        } else {
+            GEOANON_TRACE(sim_, .type = obs::EventType::kPhyDrop,
+                          .cause = obs::DropCause::kCollision, .node = trace_node_,
+                          .uid = frame_uid(frame), .bytes = frame.wire_bytes,
+                          .detail = static_cast<std::uint64_t>(frame.type));
         }
     }
     if (energy_count_ == 0 && on_idle_) on_idle_();
@@ -155,7 +174,7 @@ void Channel::rebucket_if_stale() {
     unbucketed_.clear();
 }
 
-void Channel::deliver_from(Radio* sender, const Frame& frame, const Vec2& sender_pos,
+void Channel::deliver_from(Radio* /*sender*/, const Frame& frame, const Vec2& sender_pos,
                            std::uint64_t tx_id, Radio* receiver, const Vec2& rx_pos,
                            std::vector<Radio*>& affected) {
     const double d = util::distance(sender_pos, rx_pos);
@@ -164,6 +183,10 @@ void Channel::deliver_from(Radio* sender, const Frame& frame, const Vec2& sender
     if (decodable && drop_ && drop_(frame, sender_pos, rx_pos)) {
         decodable = false;
         ++stats_.impaired;
+        GEOANON_TRACE(sim_, .type = obs::EventType::kPhyDrop,
+                      .cause = obs::DropCause::kImpaired, .node = receiver->trace_node_,
+                      .uid = frame_uid(frame), .bytes = frame.wire_bytes,
+                      .detail = static_cast<std::uint64_t>(frame.type));
     }
     affected.push_back(receiver);
     receiver->energy_start(tx_id, decodable, frame);
@@ -173,6 +196,9 @@ void Channel::start_tx(Radio* sender, const Frame& frame) {
     ++stats_.transmissions;
     const std::uint64_t tx_id = next_tx_id_++;
     const Vec2 sender_pos = sender->position();
+    GEOANON_TRACE(sim_, .type = obs::EventType::kPhyTx, .node = sender->trace_node_,
+                  .uid = frame_uid(frame), .bytes = frame.wire_bytes,
+                  .detail = static_cast<std::uint64_t>(frame.type));
     for (const auto& tap : taps_) tap(frame, sender_pos);
     const SimTime airtime = params_.airtime(frame.wire_bytes);
 
@@ -211,6 +237,20 @@ void Channel::start_tx(Radio* sender, const Frame& frame) {
         sender->end_own_tx();
         for (Radio* r : affected) r->energy_end(tx_id);
     });
+}
+
+void Radio::publish_metrics(obs::MetricsRegistry& reg) const {
+    reg.add("phy.frames_sent", stats_.frames_sent);
+    reg.add("phy.frames_delivered", stats_.frames_delivered);
+    reg.add("phy.frames_corrupted", stats_.frames_corrupted);
+    reg.add("phy.frames_missed_down", stats_.frames_missed_down);
+}
+
+void Channel::publish_metrics(obs::MetricsRegistry& reg) const {
+    reg.add("phy.transmissions", stats_.transmissions);
+    reg.add("phy.deliveries", stats_.deliveries);
+    reg.add("phy.collisions", stats_.collisions);
+    reg.add("phy.impaired", stats_.impaired);
 }
 
 }  // namespace geoanon::phy

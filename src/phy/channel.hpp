@@ -12,6 +12,10 @@
 #include "util/time.hpp"
 #include "util/vec2.hpp"
 
+namespace geoanon::obs {
+class MetricsRegistry;
+}
+
 namespace geoanon::phy {
 
 using util::SimTime;
@@ -105,6 +109,14 @@ class Radio {
     /// Channel parameters (airtimes, ranges) for the MAC above.
     const PhyParams& phy_params() const;
 
+    /// Node id used for trace attribution only (frame src/dst are broadcast
+    /// in anonymous mode, so the radio can't learn it from traffic).
+    void set_trace_node(net::NodeId id) { trace_node_ = id; }
+    net::NodeId trace_node() const { return trace_node_; }
+
+    /// Fold this radio's counters into the run metrics (phy.frames_*).
+    void publish_metrics(obs::MetricsRegistry& reg) const;
+
   private:
     friend class Channel;
 
@@ -128,6 +140,7 @@ class Radio {
     int energy_count_{0};
     bool transmitting_{false};
     bool enabled_{true};
+    net::NodeId trace_node_{net::kInvalidNode};
     /// Concurrent receptions, keyed by tx id. Insertion-ordered (a plain
     /// vector, typically 0-3 entries) so corruption sweeps traverse in the
     /// same order on every standard library, keeping runs reproducible
@@ -169,13 +182,22 @@ class Channel {
     /// Passive global eavesdropper tap: observes every transmission with the
     /// transmitter's true position (a sniffer near the sender learns as
     /// much). Used by the privacy experiments (§4). Taps share one dispatch
-    /// list: set_snoop() replaces the primary tap (historical single-tap
-    /// API, always dispatched first); add_snoop() appends an additional
-    /// independent tap, so the eavesdropper and the protocol invariant
-    /// checker can observe the same run side by side.
+    /// list with a documented order: the set_snoop() tap (historical
+    /// single-tap API) occupies slot 0 and is ALWAYS dispatched first;
+    /// add_snoop() taps follow in registration order. set_snoop(nullptr)
+    /// removes only the primary tap; add_snoop taps are unaffected. This
+    /// lets the eavesdropper, the invariant checker and the trace recorder
+    /// observe the same run side by side with a stable callback order (the
+    /// order events land in the trace depends on it).
     using SnoopFn = std::function<void(const Frame&, const Vec2& tx_pos)>;
     void set_snoop(SnoopFn snoop);
     void add_snoop(SnoopFn snoop) { taps_.push_back(std::move(snoop)); }
+    /// Drop every tap — primary and additional — in one call (test teardown,
+    /// scenario reset).
+    void clear_snoops() {
+        taps_.clear();
+        has_primary_tap_ = false;
+    }
 
     /// Receiver-side impairment model (fault injection): return true to make
     /// the frame undecodable at a receiver located at rx_pos. The frame's
@@ -187,6 +209,10 @@ class Channel {
     /// True when this channel scans all radios per transmission (config flag
     /// or GEOANON_BRUTE_FORCE_CHANNEL) instead of querying the spatial grid.
     bool brute_force() const { return brute_force_; }
+
+    /// Fold channel-wide counters into the run metrics (phy.transmissions,
+    /// phy.deliveries, phy.collisions, phy.impaired).
+    void publish_metrics(obs::MetricsRegistry& reg) const;
 
   private:
     friend class Radio;

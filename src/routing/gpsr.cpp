@@ -1,6 +1,8 @@
 #include "routing/gpsr.hpp"
 
 #include "net/codec.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace geoanon::routing {
 
@@ -57,6 +59,8 @@ void GpsrGreedyAgent::send_hello() {
     pkt->wire_bytes = static_cast<std::uint32_t>(net::codec::encoded_size(*pkt));
     ++stats_.hello_sent;
     stats_.control_bytes += pkt->wire_bytes;
+    GEOANON_TRACE(node_.sim(), .type = obs::EventType::kHelloSent, .node = node_.id(),
+                  .bytes = pkt->wire_bytes, .detail = node_.id());
     node_.mac().send_broadcast(std::move(pkt));
 }
 
@@ -95,6 +99,9 @@ void GpsrGreedyAgent::send_data(NodeId dst, net::FlowId flow, std::uint32_t seq,
                           body = std::move(body)](std::optional<Vec2> loc) mutable {
         if (!loc) {
             ++stats_.drop_no_location;
+            GEOANON_TRACE(node_.sim(), .type = obs::EventType::kNetDrop,
+                          .cause = obs::DropCause::kNoLocation, .node = node_.id(),
+                          .flow = flow, .seq = seq, .detail = dst);
             return;
         }
         auto pkt = std::make_shared<Packet>();
@@ -108,6 +115,9 @@ void GpsrGreedyAgent::send_data(NodeId dst, net::FlowId flow, std::uint32_t seq,
         pkt->dst_loc = *loc;
         pkt->body = std::move(body);
         pkt->wire_bytes = static_cast<std::uint32_t>(net::codec::encoded_size(*pkt));
+        GEOANON_TRACE(node_.sim(), .type = obs::EventType::kAppSend, .node = node_.id(),
+                      .uid = pkt->uid, .flow = pkt->flow, .seq = pkt->seq,
+                      .bytes = pkt->wire_bytes);
         route_packet(std::move(pkt));
     };
 
@@ -147,6 +157,9 @@ void GpsrGreedyAgent::route_packet(std::shared_ptr<Packet> pkt) {
 
 void GpsrGreedyAgent::deliver_local(const PacketPtr& pkt) {
     ++stats_.delivered;
+    GEOANON_TRACE(node_.sim(), .type = obs::EventType::kNetDeliver, .node = node_.id(),
+                  .uid = pkt->uid, .flow = pkt->flow, .seq = pkt->seq,
+                  .bytes = pkt->wire_bytes);
     if (deliver_) deliver_(node_.id(), *pkt);
 }
 
@@ -163,7 +176,12 @@ void GpsrGreedyAgent::forward(const PacketPtr& pkt) {
         // Greedy local maximum: LS packets get a last-resort serve; data is
         // dropped (no perimeter recovery in this evaluation).
         if (ls_ && ls_->handle_stuck(pkt)) return;
-        if (pkt->type == net::PacketType::kGpsrData) ++stats_.drop_no_route;
+        if (pkt->type == net::PacketType::kGpsrData) {
+            ++stats_.drop_no_route;
+            GEOANON_TRACE(node_.sim(), .type = obs::EventType::kNetDrop,
+                          .cause = obs::DropCause::kNoRoute, .node = node_.id(),
+                          .uid = pkt->uid, .flow = pkt->flow, .seq = pkt->seq);
+        }
         return;
     }
 
@@ -171,6 +189,9 @@ void GpsrGreedyAgent::forward(const PacketPtr& pkt) {
     copy->hops = static_cast<std::uint16_t>(pkt->hops + 1);
     ++stats_.forwarded;
     stats_.data_bytes += copy->wire_bytes;
+    GEOANON_TRACE(node_.sim(), .type = obs::EventType::kNetForward, .node = node_.id(),
+                  .uid = copy->uid, .flow = copy->flow, .seq = copy->seq,
+                  .bytes = copy->wire_bytes, .detail = best->mac);
     node_.mac().send_unicast(std::move(copy), best->mac);
 }
 
@@ -217,8 +238,26 @@ void GpsrGreedyAgent::on_mac_tx_done(const PacketPtr& pkt, MacAddr dst, bool suc
         forward(pkt);
     } else {
         reroute_counts_.erase(pkt->uid);
-        if (pkt->type == net::PacketType::kGpsrData) ++stats_.drop_mac;
+        if (pkt->type == net::PacketType::kGpsrData) {
+            ++stats_.drop_mac;
+            GEOANON_TRACE(node_.sim(), .type = obs::EventType::kNetDrop,
+                          .cause = obs::DropCause::kMacRetry, .node = node_.id(),
+                          .uid = pkt->uid, .flow = pkt->flow, .seq = pkt->seq);
+        }
     }
+}
+
+void GpsrGreedyAgent::publish_metrics(obs::MetricsRegistry& reg) const {
+    reg.add("gpsr.app_sent", stats_.app_sent);
+    reg.add("gpsr.delivered", stats_.delivered);
+    reg.add("gpsr.forwarded", stats_.forwarded);
+    reg.add("gpsr.drop_no_route", stats_.drop_no_route);
+    reg.add("gpsr.drop_mac", stats_.drop_mac);
+    reg.add("gpsr.drop_no_location", stats_.drop_no_location);
+    reg.add("gpsr.hello_sent", stats_.hello_sent);
+    reg.add("gpsr.control_bytes", stats_.control_bytes);
+    reg.add("gpsr.data_bytes", stats_.data_bytes);
+    if (ls_) ls_->publish_metrics(reg);
 }
 
 }  // namespace geoanon::routing

@@ -4,6 +4,8 @@
 
 #include <cassert>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/bytes.hpp"
 
 namespace geoanon::routing {
@@ -140,6 +142,8 @@ void LocationService::send_query(std::uint64_t qid) {
 
     ++stats_.queries_sent;
     stats_.query_bytes += pkt->wire_bytes;
+    GEOANON_TRACE(*hooks_.sim, .type = obs::EventType::kLsQuery, .node = hooks_.my_id,
+                  .uid = pkt->uid, .bytes = pkt->wire_bytes, .detail = qid);
 
     // Register the retry timeout BEFORE routing: route() can deliver the
     // request and its reply synchronously (requester in the home grid, or a
@@ -341,6 +345,9 @@ void LocationService::answer_request(const PacketPtr& pkt) {
 
     ++stats_.replies_sent;
     stats_.reply_bytes += reply->wire_bytes;
+    GEOANON_TRACE(*hooks_.sim, .type = obs::EventType::kLsReply, .node = hooks_.my_id,
+                  .uid = reply->uid, .bytes = reply->wire_bytes,
+                  .detail = reply->ls_query_id);
     hooks_.route(reply);
 }
 
@@ -416,6 +423,25 @@ void LocationService::on_reply(const PacketPtr& pkt) {
         ++stats_.resolved_ok;
         cb(found);
     });
+}
+
+void LocationService::publish_metrics(obs::MetricsRegistry& reg) const {
+    reg.add("ls.updates_sent", stats_.updates_sent);
+    reg.add("ls.update_bytes", stats_.update_bytes);
+    reg.add("ls.queries_sent", stats_.queries_sent);
+    reg.add("ls.query_bytes", stats_.query_bytes);
+    reg.add("ls.replies_sent", stats_.replies_sent);
+    reg.add("ls.reply_bytes", stats_.reply_bytes);
+    reg.add("ls.replications", stats_.replications);
+    reg.add("ls.store_hits", stats_.store_hits);
+    reg.add("ls.store_misses", stats_.store_misses);
+    reg.add("ls.resolved_ok", stats_.resolved_ok);
+    reg.add("ls.resolved_fail", stats_.resolved_fail);
+    reg.add("ls.decrypt_attempts", stats_.decrypt_attempts);
+    reg.add("ls.query_reissues", stats_.query_reissues);
+    reg.add("ls.query_fallbacks", stats_.query_fallbacks);
+    reg.add("ls.late_replies", stats_.late_replies);
+    reg.add("ls.pending_wiped", stats_.pending_wiped);
 }
 
 }  // namespace geoanon::routing

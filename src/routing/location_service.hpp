@@ -17,6 +17,10 @@
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
 
+namespace geoanon::obs {
+class MetricsRegistry;
+}
+
 namespace geoanon::routing {
 
 using net::NodeId;
@@ -129,6 +133,8 @@ class LocationService {
     bool handle_stuck(const PacketPtr& pkt);
 
     const Stats& stats() const { return stats_; }
+    /// Fold this service's counters into the run metrics (ls.*).
+    void publish_metrics(obs::MetricsRegistry& reg) const;
     Mode mode() const { return mode_; }
     /// Number of rows currently stored at this node (server role).
     std::size_t store_size() const { return plain_store_.size() + anon_store_.size(); }

@@ -8,6 +8,10 @@
 
 #include "util/time.hpp"
 
+namespace geoanon::obs {
+class TraceRecorder;
+}  // namespace geoanon::obs
+
 namespace geoanon::sim {
 
 using util::SimTime;
@@ -33,8 +37,14 @@ class Simulator {
     /// Schedule `cb` at absolute time `t` (clamped to now if in the past).
     EventId at(SimTime t, Callback cb);
 
-    /// Schedule `cb` after relative delay `d` from now.
-    EventId after(SimTime d, Callback cb) { return at(now_ + d, std::move(cb)); }
+    /// Schedule `cb` after relative delay `d` from now. Saturates at
+    /// SimTime::max(): after run() drains the queue the clock sits at the
+    /// "infinitely far" sentinel, and now_ + d must not overflow (UB).
+    EventId after(SimTime d, Callback cb) {
+        const SimTime t =
+            SimTime::max() - now_ < d ? SimTime::max() : now_ + d;
+        return at(t, std::move(cb));
+    }
 
     /// Cancel a pending event. Cancelling an already-fired or invalid id is a
     /// harmless no-op (common when a timer races its own completion) and does
@@ -51,6 +61,13 @@ class Simulator {
 
     /// Request that the run loop exits after the current callback.
     void stop() { stopped_ = true; }
+
+    /// Observability hook: when non-null, every layer holding this simulator
+    /// records typed events through the GEOANON_TRACE macro (src/obs/). Left
+    /// null (the default), tracing costs one pointer load + branch per site.
+    /// The recorder is owned by the caller and must outlive the run.
+    obs::TraceRecorder* trace() const { return trace_; }
+    void set_trace(obs::TraceRecorder* recorder) { trace_ = recorder; }
 
     std::uint64_t events_processed() const { return processed_; }
     /// Events scheduled and neither fired nor cancelled. cancelled_ only ever
@@ -87,6 +104,7 @@ class Simulator {
     std::uint64_t processed_{0};
     std::size_t peak_pending_{0};
     bool stopped_{false};
+    obs::TraceRecorder* trace_{nullptr};
 };
 
 /// Repeating timer bound to a Simulator. Calls `tick` every `period`

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace geoanon::util {
+
+/// Minimal ordered JSON emitter. Keys appear in call order and numbers are
+/// formatted via a fixed printf recipe, so two semantically equal documents
+/// are byte-identical — which is what the sweep determinism contract
+/// (`--jobs 1` vs `--jobs 8`) and the trace-export contract compare.
+class JsonWriter {
+  public:
+    JsonWriter& begin_object();
+    JsonWriter& end_object();
+    JsonWriter& begin_array();
+    JsonWriter& end_array();
+    JsonWriter& key(const std::string& k);
+    JsonWriter& value(const std::string& v);
+    JsonWriter& value(const char* v);
+    JsonWriter& value(double v);
+    JsonWriter& value(std::uint64_t v);
+    JsonWriter& value(std::int64_t v);
+    JsonWriter& value(bool v);
+
+    const std::string& str() const { return out_; }
+
+  private:
+    void separate();
+    std::string out_;
+    /// One entry per open container: count of elements emitted so far.
+    std::vector<std::size_t> depth_counts_;
+    bool after_key_{false};
+};
+
+std::string json_escape(const std::string& s);
+
+/// Write `content` to `path`; returns false (and logs) on failure.
+bool write_text_file(const std::string& path, const std::string& content);
+
+}  // namespace geoanon::util

@@ -17,6 +17,7 @@ LogLevel log_level();
 /// may log without tearing (ordering between threads is best-effort).
 void log(LogLevel level, const char* fmt, ...) __attribute__((format(printf, 2, 3)));
 
+inline void log_trace(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
 inline void log_debug(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
 inline void log_info(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
 inline void log_warn(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
@@ -24,6 +25,12 @@ inline void log_error(const char* fmt, ...) __attribute__((format(printf, 1, 2))
 
 void vlog(LogLevel level, const char* fmt, va_list args);
 
+inline void log_trace(const char* fmt, ...) {
+    va_list args;
+    va_start(args, fmt);
+    vlog(LogLevel::kTrace, fmt, args);
+    va_end(args);
+}
 inline void log_debug(const char* fmt, ...) {
     va_list args;
     va_start(args, fmt);

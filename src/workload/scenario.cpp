@@ -4,6 +4,8 @@
 #include <cassert>
 #include <chrono>
 
+#include "obs/export.hpp"
+
 namespace geoanon::workload {
 
 using util::SimTime;
@@ -41,6 +43,10 @@ void ScenarioRunner::setup() {
                                                                 config_.modulus_bits);
     }
     network_ = std::make_unique<net::Network>(config_.phy, config_.seed);
+    if (config_.trace.enabled) {
+        recorder_ = std::make_unique<obs::TraceRecorder>(config_.trace);
+        network_->set_trace(recorder_.get());
+    }
 
     build_nodes();
     build_traffic();
@@ -259,9 +265,30 @@ ScenarioResult ScenarioRunner::run() {
 }
 
 ScenarioResult ScenarioRunner::aggregate() {
+    // Every layer publishes into one registry; the legacy named fields of
+    // ScenarioResult are then *derived* from the registry so the two views
+    // can never drift apart.
+    obs::MetricsRegistry reg;
+
+    std::uint64_t app_sent = 0;
+    for (std::uint32_t s : sent_per_flow_) app_sent += s;
+    reg.add("app.sent", app_sent);
+    reg.add("app.delivered", app_delivered_);
+    reg.histogram("app.latency_ms").observe_all(latency_ms_);
+    reg.histogram("app.hops").observe_all(hops_);
+
+    network_->publish_metrics(reg);  // phy.* + mac.* across all nodes
+    for (auto* a : agfw_agents_) a->publish_metrics(reg);   // agfw.* + ls.*
+    for (auto* g : gpsr_agents_) g->publish_metrics(reg);   // gpsr.* + ls.*
+    if (injector_) injector_->publish_metrics(reg);         // fault.*
+    if (recorder_) {
+        reg.add("trace.recorded", recorder_->recorded());
+        reg.add("trace.evicted", recorder_->evicted());
+    }
+
     ScenarioResult r;
-    for (std::uint32_t s : sent_per_flow_) r.app_sent += s;
-    r.app_delivered = app_delivered_;
+    r.app_sent = reg.counter("app.sent");
+    r.app_delivered = reg.counter("app.delivered");
     r.delivery_fraction =
         r.app_sent > 0 ? static_cast<double>(r.app_delivered) / static_cast<double>(r.app_sent)
                        : 0.0;
@@ -270,93 +297,58 @@ ScenarioResult ScenarioRunner::aggregate() {
     r.p95_latency_ms = latency_ms_.percentile(95);
     r.avg_hops = hops_.mean();
 
-    for (auto& node : network_->nodes()) {
-        const auto& ms = node->mac().stats();
-        r.mac_retries += ms.retries;
-        r.mac_drop_retry += ms.unicast_drop_retry;
-        r.rts_sent += ms.rts_sent;
-        r.data_frames += ms.data_sent;
-        const auto& rs = node->radio().stats();
-        r.mac_collisions += rs.frames_corrupted;
-    }
-    r.transmissions = network_->channel().stats().transmissions;
+    r.mac_collisions = reg.counter("phy.frames_corrupted");
+    r.mac_retries = reg.counter("mac.retries");
+    r.mac_drop_retry = reg.counter("mac.unicast_drop_retry");
+    r.rts_sent = reg.counter("mac.rts_sent");
+    r.data_frames = reg.counter("mac.data_sent");
+    r.transmissions = reg.counter("phy.transmissions");
 
-    for (auto* a : agfw_agents_) {
-        const auto& s = a->stats();
-        r.drop_no_route += s.drop_no_route;
-        r.drop_unreachable += s.drop_unreachable;
-        r.drop_no_location += s.drop_no_location;
-        r.nl_retransmissions += s.retransmissions;
-        r.last_attempts += s.last_attempts;
-        r.trapdoor_attempts += s.trapdoor_attempts;
-        r.trapdoor_opens += s.trapdoor_opens;
-        r.acks_sent += s.acks_sent;
-        r.implicit_acks += s.implicit_acks;
-        r.hello_sent += s.hello_sent;
-        r.cert_fetches += s.cert_fetches;
-        r.control_bytes += s.control_bytes;
-        r.data_bytes += s.data_bytes;
-        r.perimeter_entries += s.perimeter_entries;
-        r.perimeter_recoveries += s.perimeter_recoveries;
-        r.perimeter_forwards += s.perimeter_forwards;
-        if (auto* ls = a->location_service()) {
-            const auto& l = ls->stats();
-            r.ls.updates_sent += l.updates_sent;
-            r.ls.update_bytes += l.update_bytes;
-            r.ls.queries_sent += l.queries_sent;
-            r.ls.query_bytes += l.query_bytes;
-            r.ls.replies_sent += l.replies_sent;
-            r.ls.reply_bytes += l.reply_bytes;
-            r.ls.replications += l.replications;
-            r.ls.store_hits += l.store_hits;
-            r.ls.store_misses += l.store_misses;
-            r.ls.resolved_ok += l.resolved_ok;
-            r.ls.resolved_fail += l.resolved_fail;
-            r.ls.decrypt_attempts += l.decrypt_attempts;
-            r.ls.query_reissues += l.query_reissues;
-            r.ls.query_fallbacks += l.query_fallbacks;
-            r.ls.late_replies += l.late_replies;
-            r.ls.pending_wiped += l.pending_wiped;
-        }
-    }
-    for (auto* g : gpsr_agents_) {
-        const auto& s = g->stats();
-        r.drop_no_route += s.drop_no_route;
-        r.drop_unreachable += s.drop_mac;
-        r.drop_no_location += s.drop_no_location;
-        r.hello_sent += s.hello_sent;
-        r.control_bytes += s.control_bytes;
-        r.data_bytes += s.data_bytes;
-        if (auto* ls = g->location_service()) {
-            const auto& l = ls->stats();
-            r.ls.updates_sent += l.updates_sent;
-            r.ls.update_bytes += l.update_bytes;
-            r.ls.queries_sent += l.queries_sent;
-            r.ls.query_bytes += l.query_bytes;
-            r.ls.replies_sent += l.replies_sent;
-            r.ls.reply_bytes += l.reply_bytes;
-            r.ls.replications += l.replications;
-            r.ls.store_hits += l.store_hits;
-            r.ls.store_misses += l.store_misses;
-            r.ls.resolved_ok += l.resolved_ok;
-            r.ls.resolved_fail += l.resolved_fail;
-            r.ls.query_reissues += l.query_reissues;
-            r.ls.query_fallbacks += l.query_fallbacks;
-            r.ls.late_replies += l.late_replies;
-            r.ls.pending_wiped += l.pending_wiped;
-        }
-    }
+    r.drop_no_route = reg.counter("agfw.drop_no_route") + reg.counter("gpsr.drop_no_route");
+    r.drop_unreachable =
+        reg.counter("agfw.drop_unreachable") + reg.counter("gpsr.drop_mac");
+    r.drop_no_location =
+        reg.counter("agfw.drop_no_location") + reg.counter("gpsr.drop_no_location");
+    r.nl_retransmissions = reg.counter("agfw.retransmissions");
+    r.last_attempts = reg.counter("agfw.last_attempts");
+    r.trapdoor_attempts = reg.counter("agfw.trapdoor_attempts");
+    r.trapdoor_opens = reg.counter("agfw.trapdoor_opens");
+    r.acks_sent = reg.counter("agfw.acks_sent");
+    r.implicit_acks = reg.counter("agfw.implicit_acks");
+    r.hello_sent = reg.counter("agfw.hello_sent") + reg.counter("gpsr.hello_sent");
+    r.cert_fetches = reg.counter("agfw.cert_fetches");
+    r.control_bytes = reg.counter("agfw.control_bytes") + reg.counter("gpsr.control_bytes");
+    r.data_bytes = reg.counter("agfw.data_bytes") + reg.counter("gpsr.data_bytes");
+    r.perimeter_entries = reg.counter("agfw.perimeter_entries");
+    r.perimeter_recoveries = reg.counter("agfw.perimeter_recoveries");
+    r.perimeter_forwards = reg.counter("agfw.perimeter_forwards");
+
+    r.ls.updates_sent = reg.counter("ls.updates_sent");
+    r.ls.update_bytes = reg.counter("ls.update_bytes");
+    r.ls.queries_sent = reg.counter("ls.queries_sent");
+    r.ls.query_bytes = reg.counter("ls.query_bytes");
+    r.ls.replies_sent = reg.counter("ls.replies_sent");
+    r.ls.reply_bytes = reg.counter("ls.reply_bytes");
+    r.ls.replications = reg.counter("ls.replications");
+    r.ls.store_hits = reg.counter("ls.store_hits");
+    r.ls.store_misses = reg.counter("ls.store_misses");
+    r.ls.resolved_ok = reg.counter("ls.resolved_ok");
+    r.ls.resolved_fail = reg.counter("ls.resolved_fail");
+    r.ls.decrypt_attempts = reg.counter("ls.decrypt_attempts");
+    r.ls.query_reissues = reg.counter("ls.query_reissues");
+    r.ls.query_fallbacks = reg.counter("ls.query_fallbacks");
+    r.ls.late_replies = reg.counter("ls.late_replies");
+    r.ls.pending_wiped = reg.counter("ls.pending_wiped");
 
     if (injector_) {
         const auto& fs = injector_->stats();
-        r.resilience.faults_injected = fs.faults_injected;
-        r.resilience.node_crashes = fs.node_crashes;
-        r.resilience.node_recoveries = fs.node_recoveries;
-        r.resilience.als_outages = fs.als_outages;
-        r.resilience.frames_lost_loss_burst = fs.frames_lost_loss_burst;
-        r.resilience.frames_lost_jam = fs.frames_lost_jam;
-        for (auto& node : network_->nodes())
-            r.resilience.frames_lost_node_down += node->radio().stats().frames_missed_down;
+        r.resilience.faults_injected = reg.counter("fault.faults_injected");
+        r.resilience.node_crashes = reg.counter("fault.node_crashes");
+        r.resilience.node_recoveries = reg.counter("fault.node_recoveries");
+        r.resilience.als_outages = reg.counter("fault.als_outages");
+        r.resilience.frames_lost_loss_burst = reg.counter("fault.frames_lost_loss_burst");
+        r.resilience.frames_lost_jam = reg.counter("fault.frames_lost_jam");
+        r.resilience.frames_lost_node_down = reg.counter("phy.frames_missed_down");
         r.resilience.ls_pending_wiped = r.ls.pending_wiped;
         r.resilience.recoveries_measured = fs.recovery_s.count();
         r.resilience.recovery_latency_p50_s = fs.recovery_s.percentile(50);
@@ -367,7 +359,19 @@ ScenarioResult ScenarioRunner::aggregate() {
     if (checker_) r.invariants = checker_->counters();
     r.events_processed = network_->sim().events_processed();
     r.perf.peak_queue_depth = network_->sim().peak_pending();
+    r.metrics = reg.snapshot();
     return r;
+}
+
+std::string ScenarioRunner::chrome_trace_json() const {
+    if (!recorder_) return {};
+    obs::TraceMeta meta;
+    meta.scheme = scheme_name(config_.scheme);
+    meta.seed = config_.seed;
+    meta.num_nodes = config_.num_nodes;
+    meta.sim_seconds = config_.sim_seconds;
+    meta.evicted = recorder_->evicted();
+    return obs::to_chrome_trace_json(recorder_->events(), meta);
 }
 
 }  // namespace geoanon::workload

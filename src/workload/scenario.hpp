@@ -12,6 +12,8 @@
 #include "fault/fault.hpp"
 #include "mobility/mobility.hpp"
 #include "net/network.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "routing/gpsr.hpp"
 #include "routing/location_service.hpp"
 #include "util/stats.hpp"
@@ -70,6 +72,10 @@ struct ScenarioConfig {
     /// GPS error, ALS outages). Empty = no injector is attached at all.
     fault::FaultPlan faults{};
 
+    /// Flight-recorder settings. trace.enabled = false (the default) keeps
+    /// every GEOANON_TRACE site down to a null-pointer test.
+    obs::TraceParams trace{};
+
     bool attach_eavesdropper{false};
     /// Run the protocol invariant checker alongside the scenario (passive;
     /// cannot change the outcome). Results land in ScenarioResult::invariants.
@@ -118,6 +124,11 @@ struct ScenarioResult {
 
     // Location service aggregates (when enabled)
     routing::LocationService::Stats ls{};
+
+    /// Everything every layer published into the run's MetricsRegistry,
+    /// sorted by name. The named fields above are derived from this snapshot
+    /// (see ScenarioRunner::aggregate) and kept for API/JSON stability.
+    obs::MetricsSnapshot metrics{};
 
     // Adversary (when attached)
     core::Eavesdropper::Report adversary{};
@@ -183,6 +194,11 @@ class ScenarioRunner {
     /// The attached fault injector (nullptr when config.faults is empty or
     /// setup() has not run yet).
     fault::FaultInjector* fault_injector() { return injector_.get(); }
+    /// The flight recorder (nullptr unless config.trace.enabled).
+    obs::TraceRecorder* trace_recorder() { return recorder_.get(); }
+    /// Export the recorded trace as deterministic Chrome trace-event JSON.
+    /// Empty string when tracing was off.
+    std::string chrome_trace_json() const;
 
   private:
     struct Flow {
@@ -204,6 +220,9 @@ class ScenarioRunner {
     /// the generator loop is leak-free. Declared before network_ so they
     /// outlive any simulator events still pointing into them.
     std::vector<std::shared_ptr<std::function<void()>>> cbr_generators_;
+    /// Declared before network_: the simulator holds a raw pointer to the
+    /// recorder, so it must outlive the network during teardown.
+    std::unique_ptr<obs::TraceRecorder> recorder_;
     std::unique_ptr<net::Network> network_;
     std::unique_ptr<core::Eavesdropper> eavesdropper_;
     std::unique_ptr<analysis::InvariantChecker> checker_;
@@ -216,7 +235,7 @@ class ScenarioRunner {
     std::vector<std::vector<bool>> delivered_;
     std::vector<std::uint32_t> sent_per_flow_;
     util::Sampler latency_ms_;
-    util::RunningStat hops_;
+    util::Sampler hops_;
     std::uint64_t app_delivered_{0};
     bool built_{false};
 };

@@ -240,6 +240,47 @@ TEST(Phy, SnoopAndTapsShareOneDispatchList) {
     EXPECT_EQ(extra, 2);
 }
 
+TEST(Phy, PrimarySnoopAlwaysDispatchedFirst) {
+    // Contract (channel.hpp): the set_snoop() tap occupies slot 0 and fires
+    // before every add_snoop() tap, even when it is registered last — trace
+    // event order depends on this.
+    Rig rig;
+    std::vector<int> order;
+    rig.channel.add_snoop([&](const Frame&, const Vec2&) { order.push_back(1); });
+    rig.channel.add_snoop([&](const Frame&, const Vec2&) { order.push_back(2); });
+    rig.channel.set_snoop([&](const Frame&, const Vec2&) { order.push_back(0); });
+    Radio& tx = rig.add({0, 0});
+    tx.start_tx(rig.frame());
+    rig.sim.run_until(1_s);  // finite horizon: the rig transmits again below
+    ASSERT_EQ(order, (std::vector<int>{0, 1, 2}));
+
+    // Replacing the primary keeps slot 0; add_snoop order is preserved.
+    order.clear();
+    rig.channel.set_snoop([&](const Frame&, const Vec2&) { order.push_back(-1); });
+    tx.start_tx(rig.frame());
+    rig.sim.run_until(2_s);
+    ASSERT_EQ(order, (std::vector<int>{-1, 1, 2}));
+}
+
+TEST(Phy, ClearSnoopsDropsEveryTap) {
+    Rig rig;
+    int primary = 0, extra = 0;
+    rig.channel.set_snoop([&](const Frame&, const Vec2&) { ++primary; });
+    rig.channel.add_snoop([&](const Frame&, const Vec2&) { ++extra; });
+    rig.channel.clear_snoops();
+    Radio& tx = rig.add({0, 0});
+    tx.start_tx(rig.frame());
+    rig.sim.run_until(1_s);  // finite horizon: the rig transmits again below
+    EXPECT_EQ(primary, 0);
+    EXPECT_EQ(extra, 0);
+
+    // The channel is reusable after clearing: set_snoop reclaims slot 0.
+    rig.channel.set_snoop([&](const Frame&, const Vec2&) { ++primary; });
+    tx.start_tx(rig.frame());
+    rig.sim.run_until(2_s);
+    EXPECT_EQ(primary, 1);
+}
+
 TEST(Phy, StatsCountersConsistent) {
     Rig rig;
     Radio& tx = rig.add({0, 0});

@@ -240,6 +240,47 @@ TEST(Sampler, EmptyReturnsZero) {
     EXPECT_EQ(s.mean(), 0.0);
 }
 
+TEST(Sampler, SingleSampleEveryPercentile) {
+    Sampler s;
+    s.add(7.25);
+    // Nearest-rank on one sample: every p maps to that sample.
+    for (const double p : {0.0, 1.0, 50.0, 99.0, 100.0})
+        EXPECT_DOUBLE_EQ(s.percentile(p), 7.25) << "p=" << p;
+    EXPECT_DOUBLE_EQ(s.min(), 7.25);
+    EXPECT_DOUBLE_EQ(s.max(), 7.25);
+}
+
+TEST(Sampler, PercentileBoundsHitMinAndMax) {
+    Sampler s;
+    // Unsorted insertion order; p=0 must return the min, p=100 the max.
+    for (const double x : {42.0, -3.0, 17.0, 0.5, 9.0}) s.add(x);
+    EXPECT_DOUBLE_EQ(s.percentile(0), -3.0);
+    EXPECT_DOUBLE_EQ(s.percentile(100), 42.0);
+}
+
+TEST(RunningStat, MergeSkewedSplitsMatchSinglePass) {
+    // Ground truth: one single-pass accumulator over 500 values. Merging any
+    // partition of the same values — including a 1-vs-499 split — must agree
+    // on every moment.
+    Rng rng(11);
+    std::vector<double> xs;
+    for (int i = 0; i < 500; ++i) xs.push_back(rng.uniform(-1000.0, 1000.0));
+    RunningStat all;
+    for (const double x : xs) all.add(x);
+
+    for (const std::size_t split : {std::size_t{1}, std::size_t{250}, std::size_t{499}}) {
+        RunningStat a, b;
+        for (std::size_t i = 0; i < xs.size(); ++i) (i < split ? a : b).add(xs[i]);
+        a.merge(b);
+        EXPECT_EQ(a.count(), all.count());
+        EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+        EXPECT_NEAR(a.stddev(), all.stddev(), 1e-6);
+        EXPECT_NEAR(a.sum(), all.sum(), 1e-6);
+        EXPECT_DOUBLE_EQ(a.min(), all.min());
+        EXPECT_DOUBLE_EQ(a.max(), all.max());
+    }
+}
+
 TEST(Sampler, PercentileAfterMoreSamples) {
     Sampler s;
     s.add(10);

@@ -1,0 +1,167 @@
+// trace_query — inspect Chrome traces written by the geoanon flight recorder
+// (quickstart --trace, SweepRunner trace_dir, or ScenarioRunner directly).
+//
+// Usage:
+//   trace_query [MODE...] trace.json
+//
+// Modes (default: --summary):
+//   --check          validate the file against the trace schema; exit 0/1.
+//   --summary        run header, event counts by type, flight totals.
+//   --undelivered    every application packet that never arrived, with its
+//                    reconstructed hop chain and drop cause ("why did
+//                    packet N die", for all N at once).
+//   --packet=UID     full event-by-event life of one packet uid (decimal or
+//                    0x hex).
+//   --worst=N        the N delivered flows with the highest latency.
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "obs/flight.hpp"
+#include "obs/trace_read.hpp"
+#include "util/cli.hpp"
+
+using namespace geoanon;
+
+namespace {
+
+bool read_file(const std::string& path, std::string& out) {
+    std::ifstream f(path, std::ios::binary);
+    if (!f) return false;
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    out = ss.str();
+    return true;
+}
+
+const char* status_name(obs::Flight::Status s) {
+    switch (s) {
+        case obs::Flight::Status::kDelivered: return "delivered";
+        case obs::Flight::Status::kDropped: return "dropped";
+        case obs::Flight::Status::kInFlight: return "in-flight";
+    }
+    return "?";
+}
+
+void print_hop_chain(const obs::Flight& f) {
+    std::printf("    hops:");
+    for (const auto n : f.hop_chain) std::printf(" %u", n);
+    std::printf("\n");
+}
+
+void print_flight_line(const obs::Flight& f) {
+    std::printf("  uid 0x%016" PRIx64 "  flow %u seq %u  %s", f.uid, f.flow, f.seq,
+                status_name(f.status));
+    if (f.status != obs::Flight::Status::kDelivered)
+        std::printf(" (%s)", obs::drop_cause_name(f.cause));
+    std::printf("  t=[%.3f, %.3f]s  %zu events\n", f.first.to_seconds(),
+                f.last.to_seconds(), f.events.size());
+    print_hop_chain(f);
+}
+
+void print_packet(const obs::Flight& f) {
+    print_flight_line(f);
+    for (const obs::Event& e : f.events) {
+        std::printf("    %12.6fs  #%-8" PRIu64 " %-18s node=%-4d cause=%-14s "
+                    "bytes=%-4u detail=0x%" PRIx64 "\n",
+                    e.t.to_seconds(), e.id, obs::event_type_name(e.type),
+                    static_cast<int>(e.node), obs::drop_cause_name(e.cause), e.bytes,
+                    e.detail);
+    }
+}
+
+void print_summary(const obs::LoadedTrace& trace, const obs::FlightIndex& index) {
+    std::printf("scheme=%s seed=%" PRIu64 " nodes=%u sim=%.0fs  events=%zu evicted=%" PRIu64
+                "\n\n",
+                trace.meta.scheme.c_str(), trace.meta.seed, trace.meta.num_nodes,
+                trace.meta.sim_seconds, trace.events.size(), trace.meta.evicted);
+
+    std::map<std::string, std::uint64_t> by_type;
+    for (const obs::Event& e : trace.events) ++by_type[obs::event_type_name(e.type)];
+    std::printf("events by type:\n");
+    for (const auto& [name, n] : by_type)
+        std::printf("  %-20s %" PRIu64 "\n", name.c_str(), n);
+
+    std::size_t data = 0, delivered = 0, dropped = 0, in_flight = 0;
+    for (const obs::Flight& f : index.flights()) {
+        if (!f.is_data) continue;
+        ++data;
+        switch (f.status) {
+            case obs::Flight::Status::kDelivered: ++delivered; break;
+            case obs::Flight::Status::kDropped: ++dropped; break;
+            case obs::Flight::Status::kInFlight: ++in_flight; break;
+        }
+    }
+    std::printf("\nflights: %zu total (%zu data: %zu delivered, %zu dropped, "
+                "%zu in-flight)\n",
+                index.flights().size(), data, delivered, dropped, in_flight);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const util::CliArgs args(argc, argv);
+    if (args.positionals().size() != 1) {
+        std::fprintf(stderr,
+                     "usage: %s [--check] [--summary] [--undelivered] "
+                     "[--packet=UID] [--worst=N] trace.json\n",
+                     args.program().c_str());
+        return 2;
+    }
+    const std::string& path = args.positionals()[0];
+
+    std::string text;
+    if (!read_file(path, text)) {
+        std::fprintf(stderr, "error: cannot read %s\n", path.c_str());
+        return 2;
+    }
+
+    obs::LoadedTrace trace;
+    std::string error;
+    if (!obs::load_chrome_trace(text, trace, error)) {
+        std::fprintf(stderr, "%s: FAIL %s\n", path.c_str(), error.c_str());
+        return 1;
+    }
+    if (args.get("check", false)) {
+        std::printf("%s: OK (%zu events)\n", path.c_str(), trace.events.size());
+        return 0;
+    }
+
+    const obs::FlightIndex index(trace.events);
+    bool acted = false;
+
+    if (args.has("packet")) {
+        acted = true;
+        const std::string s = args.get("packet", std::string{});
+        const std::uint64_t uid = std::strtoull(s.c_str(), nullptr, 0);
+        const obs::Flight* f = index.find(uid);
+        if (!f) {
+            std::fprintf(stderr, "error: no events for uid %s\n", s.c_str());
+            return 1;
+        }
+        print_packet(*f);
+    }
+    if (args.get("undelivered", false)) {
+        acted = true;
+        const auto lost = index.undelivered_data();
+        std::printf("%zu undelivered data packets:\n", lost.size());
+        for (const obs::Flight* f : lost) print_flight_line(*f);
+    }
+    if (args.has("worst")) {
+        acted = true;
+        const auto n = static_cast<std::size_t>(args.get("worst", std::int64_t{10}));
+        std::printf("worst-latency delivered flows:\n");
+        for (const obs::Flight* f : index.worst_latency(n)) {
+            std::printf("  uid 0x%016" PRIx64 "  flow %u seq %u  %.2f ms\n", f->uid,
+                        f->flow, f->seq, f->latency_ms());
+            print_hop_chain(*f);
+        }
+    }
+    if (!acted || args.get("summary", false)) print_summary(trace, index);
+    return 0;
+}
