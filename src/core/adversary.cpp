@@ -103,9 +103,17 @@ Eavesdropper::Report Eavesdropper::report(double total_seconds) const {
 
     const double total_windows =
         std::max(1.0, total_seconds / params_.window_seconds);
-    double coverage_sum = 0.0;
+    // Summation order must not follow hash layout: float addition is not
+    // associative, and mean_tracking_coverage lands in result JSON.
+    std::vector<std::size_t> window_counts;
+    window_counts.reserve(windows_.size());
+    // geoanon-lint: allow(unordered-iter) -- order erased by the sort below
     for (const auto& [node, wins] : windows_)
-        coverage_sum += static_cast<double>(wins.size()) / total_windows;
+        window_counts.push_back(wins.size());
+    std::sort(window_counts.begin(), window_counts.end());
+    double coverage_sum = 0.0;
+    for (const std::size_t wins : window_counts)
+        coverage_sum += static_cast<double>(wins) / total_windows;
     r.mean_tracking_coverage =
         node_count_ > 0 ? coverage_sum / static_cast<double>(node_count_) : 0.0;
     return r;

@@ -110,8 +110,10 @@ std::vector<Pseudonym> AgfwAgent::active_blacklist() const {
     std::vector<Pseudonym> out;
     out.reserve(blacklist_.size());
     const SimTime now = node_.sim().now();
+    // geoanon-lint: allow(unordered-iter) -- order erased by the sort below
     for (const auto& [n, expiry] : blacklist_)
         if (expiry > now) out.push_back(n);
+    std::sort(out.begin(), out.end());
     return out;
 }
 
@@ -133,6 +135,7 @@ void AgfwAgent::on_node_restart() {
     ant_.clear();
     seen_.clear();
     blacklist_.clear();
+    // geoanon-lint: allow(unordered-iter) -- cancel() only marks event ids; cancellation order cannot reach any output
     for (auto& [uid, p] : pending_) node_.sim().cancel(p.timer);
     pending_.clear();
     ack_batch_.clear();

@@ -131,8 +131,7 @@ std::vector<PointRecord> SweepRunner::run() {
     jobs = std::min(jobs, total);
 
     std::atomic<std::size_t> next{0};
-    std::atomic<std::size_t> done{0};
-    std::mutex progress_mutex;
+    ProgressState progress;
     auto worker = [&] {
         for (;;) {
             const std::size_t i = next.fetch_add(1);
@@ -150,11 +149,11 @@ std::vector<PointRecord> SweepRunner::run() {
                 util::write_text_file(options_.trace_dir + "/" + name,
                                       runner.chrome_trace_json());
             }
-            const std::size_t finished = done.fetch_add(1) + 1;
-            if (options_.on_progress) {
-                const std::lock_guard<std::mutex> lock(progress_mutex);
-                options_.on_progress(finished, total);
-            }
+            // Count and report under one lock so callbacks observe strictly
+            // increasing `finished` values.
+            const util::MutexLock lock(progress.mu);
+            const std::size_t finished = ++progress.done;
+            if (options_.on_progress) options_.on_progress(finished, total);
         }
     };
 

@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "util/thread_annotations.hpp"
 #include "workload/scenario.hpp"
 
 namespace geoanon::experiment {
@@ -99,6 +100,15 @@ class SweepRunner {
     const SweepSpec& spec() const { return spec_; }
 
   private:
+    /// Completion state shared by the worker pool during run(). The result
+    /// grid itself needs no lock (workers write disjoint pre-sized slots);
+    /// only the progress counter and callback are cross-thread, and the
+    /// annotations let clang -Wthread-safety enforce that contract.
+    struct ProgressState {
+        util::Mutex mu;
+        std::size_t done GEOANON_GUARDED_BY(mu){0};
+    };
+
     SweepSpec spec_;
     Options options_;
 };

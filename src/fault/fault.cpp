@@ -217,7 +217,7 @@ void FaultInjector::publish_metrics(obs::MetricsRegistry& reg) const {
     reg.add("fault.churn_skipped", stats_.churn_skipped);
     reg.add("fault.frames_lost_loss_burst", stats_.frames_lost_loss_burst);
     reg.add("fault.frames_lost_jam", stats_.frames_lost_jam);
-    reg.histogram("fault.recovery_s").observe_all(stats_.recovery_s);
+    reg.observe_all("fault.recovery_s", stats_.recovery_s);
 }
 
 void FaultInjector::advance_ge_chain(SimTime now) {

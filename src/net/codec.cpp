@@ -50,6 +50,7 @@ std::optional<Vec2> get_vec(ByteReader& r) {
 }
 
 /// Velocity hints travel quantized to two f32 (8 bytes).
+// geoanon-lint: begin-allow(float-accum) -- deliberate IEEE-754 binary32 wire quantization; the value is widened back to double immediately on decode and never accumulated as float
 void put_velocity(ByteWriter& w, const Vec2& v) {
     w.u32(std::bit_cast<std::uint32_t>(static_cast<float>(v.x)));
     w.u32(std::bit_cast<std::uint32_t>(static_cast<float>(v.y)));
@@ -62,6 +63,7 @@ std::optional<Vec2> get_velocity(ByteReader& r) {
     return Vec2{static_cast<double>(std::bit_cast<float>(*x)),
                 static_cast<double>(std::bit_cast<float>(*y))};
 }
+// geoanon-lint: end-allow(float-accum)
 
 bool has_velocity(const Packet& p) {
     return p.hello_velocity.x != 0.0 || p.hello_velocity.y != 0.0;

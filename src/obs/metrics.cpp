@@ -8,7 +8,34 @@ std::uint64_t MetricsSnapshot::counter(const std::string& name) const {
     return 0;
 }
 
+void MetricsRegistry::add(const std::string& name, std::uint64_t delta) {
+    const util::MutexLock lock(mu_);
+    counters_[name] += delta;
+}
+
+void MetricsRegistry::set_gauge(const std::string& name, double v) {
+    const util::MutexLock lock(mu_);
+    gauges_[name] = v;
+}
+
+void MetricsRegistry::observe(const std::string& name, double x) {
+    const util::MutexLock lock(mu_);
+    hists_[name].observe(x);
+}
+
+void MetricsRegistry::observe_all(const std::string& name, const util::Sampler& s) {
+    const util::MutexLock lock(mu_);
+    hists_[name].observe_all(s);
+}
+
+std::uint64_t MetricsRegistry::counter(const std::string& name) const {
+    const util::MutexLock lock(mu_);
+    const auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+}
+
 MetricsSnapshot MetricsRegistry::snapshot() const {
+    const util::MutexLock lock(mu_);
     MetricsSnapshot snap;
     snap.counters.reserve(counters_.size());
     for (const auto& [name, v] : counters_) snap.counters.emplace_back(name, v);

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "util/stats.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace geoanon::obs {
 
@@ -58,25 +59,29 @@ struct MetricsSnapshot {
 /// each expose publish_metrics(MetricsRegistry&)). Names are dotted
 /// layer-prefixed strings ("mac.retries", "agfw.drop_unreachable"); the
 /// std::map keeps snapshots sorted and therefore byte-stable in JSON.
+///
+/// Thread-safe: all maps sit behind mu_ (clang -Wthread-safety checked), so
+/// concurrent SweepRunner workers — or the future sharded simulator — can
+/// publish into one registry. Determinism is unaffected: counters commute,
+/// and snapshots are name-sorted regardless of publish order.
 class MetricsRegistry {
   public:
-    void add(const std::string& name, std::uint64_t delta) { counters_[name] += delta; }
-    void set_gauge(const std::string& name, double v) { gauges_[name] = v; }
-    Histogram& histogram(const std::string& name) { return hists_[name]; }
-    void observe(const std::string& name, double x) { hists_[name].observe(x); }
+    void add(const std::string& name, std::uint64_t delta);
+    void set_gauge(const std::string& name, double v);
+    void observe(const std::string& name, double x);
+    /// Fold a layer-owned sampler into the named histogram.
+    void observe_all(const std::string& name, const util::Sampler& s);
 
     /// Counter value; 0 when never touched.
-    std::uint64_t counter(const std::string& name) const {
-        const auto it = counters_.find(name);
-        return it == counters_.end() ? 0 : it->second;
-    }
+    std::uint64_t counter(const std::string& name) const;
 
     MetricsSnapshot snapshot() const;
 
   private:
-    std::map<std::string, std::uint64_t> counters_;
-    std::map<std::string, double> gauges_;
-    std::map<std::string, Histogram> hists_;
+    mutable util::Mutex mu_;
+    std::map<std::string, std::uint64_t> counters_ GEOANON_GUARDED_BY(mu_);
+    std::map<std::string, double> gauges_ GEOANON_GUARDED_BY(mu_);
+    std::map<std::string, Histogram> hists_ GEOANON_GUARDED_BY(mu_);
 };
 
 }  // namespace geoanon::obs

@@ -78,6 +78,7 @@ TraceRecorder::TraceRecorder(TraceParams params) : params_(params) {
 
 void TraceRecorder::record(SimTime now, Event e) {
     if (!enabled_) return;
+    const util::MutexLock lock(mu_);
     e.t = now;
     e.id = next_id_++;
 
@@ -107,6 +108,7 @@ void TraceRecorder::record(SimTime now, Event e) {
 }
 
 std::vector<Event> TraceRecorder::events() const {
+    const util::MutexLock lock(mu_);
     std::vector<Event> out;
     std::size_t total = 0;
     for (const Shard& s : shards_) total += s.ring.size();

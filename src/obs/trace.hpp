@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "net/types.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/time.hpp"
 
 namespace geoanon::obs {
@@ -127,10 +128,16 @@ struct TraceParams {
 
 /// Bounded, per-node-sharded ring buffer of Events.
 ///
-/// The simulator is single-threaded, so one global monotonic id gives a
+/// Each simulator is single-threaded, so one global monotonic id gives a
 /// total order over all events of a run; sorting the shard union by id
 /// reconstructs exact record order. Ids are deterministic for a fixed
 /// (config, seed) — the export built on them is byte-stable.
+///
+/// The shard state sits behind mu_ (clang -Wthread-safety checked) so a
+/// recorder outlives any thread confinement assumption: SweepRunner workers
+/// each own a recorder today, but the sharded in-run simulator (ROADMAP
+/// item 2) will fan events in from several threads. enabled_ is NOT guarded:
+/// it is a setup-time switch that must not be toggled while workers record.
 class TraceRecorder {
   public:
     explicit TraceRecorder(TraceParams params = {});
@@ -142,8 +149,14 @@ class TraceRecorder {
     void set_enabled(bool enabled) { enabled_ = enabled; }
     bool enabled() const { return enabled_; }
 
-    std::uint64_t recorded() const { return next_id_ - 1; }
-    std::uint64_t evicted() const { return evicted_; }
+    std::uint64_t recorded() const {
+        const util::MutexLock lock(mu_);
+        return next_id_ - 1;
+    }
+    std::uint64_t evicted() const {
+        const util::MutexLock lock(mu_);
+        return evicted_;
+    }
     const TraceParams& params() const { return params_; }
 
     /// All retained events, sorted by id (record order). O(n log n).
@@ -157,9 +170,11 @@ class TraceRecorder {
 
     TraceParams params_;
     bool enabled_{true};
-    std::uint64_t next_id_{1};
-    std::uint64_t evicted_{0};
-    std::vector<Shard> shards_;  ///< index: node + 1 (0 = unattributed)
+    mutable util::Mutex mu_;
+    std::uint64_t next_id_ GEOANON_GUARDED_BY(mu_){1};
+    std::uint64_t evicted_ GEOANON_GUARDED_BY(mu_){0};
+    /// index: node + 1 (0 = unattributed)
+    std::vector<Shard> shards_ GEOANON_GUARDED_BY(mu_);
 };
 
 }  // namespace geoanon::obs

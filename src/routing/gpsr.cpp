@@ -66,26 +66,28 @@ void GpsrGreedyAgent::send_hello() {
 
 void GpsrGreedyAgent::purge_neighbors() {
     const util::SimTime now = node_.sim().now();
-    for (auto it = neighbors_.begin(); it != neighbors_.end();) {
-        if (now - it->second.ts > params_.neighbor_ttl)
-            it = neighbors_.erase(it);
-        else
-            ++it;
-    }
+    std::erase_if(neighbors_, [&](const auto& kv) {
+        return now - kv.second.ts > params_.neighbor_ttl;
+    });
 }
 
 const GpsrGreedyAgent::Neighbor* GpsrGreedyAgent::best_neighbor(
     const Vec2& from, const Vec2& dst_loc) const {
     const double my_dist = util::distance(from, dst_loc);
     const Neighbor* best = nullptr;
+    NodeId best_id = net::kInvalidNode;
     double best_dist = my_dist;
     const util::SimTime now = node_.sim().now();
+    // Ties on distance are broken by the lowest node id so the winner does
+    // not depend on hash-map iteration order.
+    // geoanon-lint: allow(unordered-iter) -- selection below is order-independent (strict min with id tie-break)
     for (const auto& [id, n] : neighbors_) {
         if (now - n.ts > params_.neighbor_ttl) continue;
         const double d = util::distance(n.loc, dst_loc);
-        if (d < best_dist) {
+        if (d < best_dist || (d == best_dist && best != nullptr && id < best_id)) {
             best_dist = d;
             best = &n;
+            best_id = id;
         }
     }
     return best;
@@ -227,6 +229,7 @@ void GpsrGreedyAgent::on_mac_tx_done(const PacketPtr& pkt, MacAddr dst, bool suc
     }
     // The MAC exhausted its retries: assume the neighbor is gone (GPSR's
     // beacon-timeout shortcut) and try the next-best one.
+    // geoanon-lint: allow(unordered-iter) -- MAC addresses are unique per node, so at most one entry matches regardless of walk order
     for (auto it = neighbors_.begin(); it != neighbors_.end(); ++it) {
         if (it->second.mac == dst) {
             neighbors_.erase(it);

@@ -46,6 +46,7 @@ void LocationService::reset() {
     plain_store_.clear();
     anon_store_.clear();
     stats_.pending_wiped += pending_.size();
+    // geoanon-lint: allow(unordered-iter) -- cancel() only marks event ids; cancellation order cannot reach any output
     for (auto& [qid, q] : pending_) hooks_.sim->cancel(q.timeout);
     pending_.clear();
 }

@@ -3,12 +3,18 @@
 #include <atomic>
 #include <cstdio>
 
+#include "util/thread_annotations.hpp"
+
 namespace geoanon::util {
 
 namespace {
 // Atomic so concurrent SweepRunner workers can log while another thread
-// adjusts the threshold; per-message output remains a single vfprintf.
+// adjusts the threshold without a lock on the fast (filtered-out) path.
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+// One message is three stream writes (tag, body, newline); the mutex keeps
+// concurrent SweepRunner workers from interleaving them mid-line.
+Mutex g_stream_mu;
 
 const char* tag(LogLevel level) {
     switch (level) {
@@ -28,6 +34,7 @@ LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
 void vlog(LogLevel level, const char* fmt, va_list args) {
     if (level < g_level.load(std::memory_order_relaxed)) return;
+    const MutexLock lock(g_stream_mu);
     std::fprintf(stderr, "[%s] ", tag(level));
     std::vfprintf(stderr, fmt, args);
     std::fputc('\n', stderr);

@@ -13,8 +13,9 @@ void set_log_level(LogLevel level);
 LogLevel log_level();
 
 /// printf-style logging to stderr with a level tag. The threshold check is
-/// atomic and each message is one vfprintf, so concurrent SweepRunner workers
-/// may log without tearing (ordering between threads is best-effort).
+/// atomic (lock-free when filtered out) and emission is serialized by a
+/// mutex, so concurrent SweepRunner workers may log without tearing
+/// (ordering between threads is best-effort).
 void log(LogLevel level, const char* fmt, ...) __attribute__((format(printf, 2, 3)));
 
 inline void log_trace(const char* fmt, ...) __attribute__((format(printf, 1, 2)));

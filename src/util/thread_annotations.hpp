@@ -1,0 +1,70 @@
+#pragma once
+
+#include <mutex>
+
+// Clang -Wthread-safety capability annotations, no-ops on GCC (which has no
+// analysis; the macros expand to nothing so the same headers build
+// everywhere). Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+//
+// libstdc++'s std::mutex carries no capability attributes, so annotating
+// members with GEOANON_GUARDED_BY only type-checks against the util::Mutex /
+// util::MutexLock wrappers below — use those, not raw std::mutex, in any
+// type that shares state across SweepRunner workers.
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define GEOANON_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef GEOANON_THREAD_ANNOTATION
+#define GEOANON_THREAD_ANNOTATION(x)
+#endif
+
+#define GEOANON_CAPABILITY(x) GEOANON_THREAD_ANNOTATION(capability(x))
+#define GEOANON_SCOPED_CAPABILITY GEOANON_THREAD_ANNOTATION(scoped_lockable)
+#define GEOANON_GUARDED_BY(x) GEOANON_THREAD_ANNOTATION(guarded_by(x))
+#define GEOANON_PT_GUARDED_BY(x) GEOANON_THREAD_ANNOTATION(pt_guarded_by(x))
+#define GEOANON_REQUIRES(...) \
+    GEOANON_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define GEOANON_ACQUIRE(...) \
+    GEOANON_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define GEOANON_RELEASE(...) \
+    GEOANON_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define GEOANON_TRY_ACQUIRE(...) \
+    GEOANON_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define GEOANON_EXCLUDES(...) GEOANON_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define GEOANON_RETURN_CAPABILITY(x) GEOANON_THREAD_ANNOTATION(lock_returned(x))
+#define GEOANON_NO_THREAD_SAFETY_ANALYSIS \
+    GEOANON_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace geoanon::util {
+
+/// std::mutex with capability annotations so clang can check GUARDED_BY
+/// contracts. Zero overhead: the wrapper is a plain forwarding layer.
+class GEOANON_CAPABILITY("mutex") Mutex {
+  public:
+    Mutex() = default;
+    Mutex(const Mutex&) = delete;
+    Mutex& operator=(const Mutex&) = delete;
+
+    void lock() GEOANON_ACQUIRE() { mu_.lock(); }
+    void unlock() GEOANON_RELEASE() { mu_.unlock(); }
+    bool try_lock() GEOANON_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  private:
+    std::mutex mu_;
+};
+
+/// RAII lock for util::Mutex (std::lock_guard is invisible to the analysis).
+class GEOANON_SCOPED_CAPABILITY MutexLock {
+  public:
+    explicit MutexLock(Mutex& mu) GEOANON_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+    ~MutexLock() GEOANON_RELEASE() { mu_.unlock(); }
+    MutexLock(const MutexLock&) = delete;
+    MutexLock& operator=(const MutexLock&) = delete;
+
+  private:
+    Mutex& mu_;
+};
+
+}  // namespace geoanon::util

@@ -254,8 +254,10 @@ void ScenarioRunner::on_delivery(net::NodeId at, const net::Packet& pkt) {
 ScenarioResult ScenarioRunner::run() {
     setup();
     network_->start_agents();
+    // geoanon-lint: allow(wallclock) -- host perf measurement; lands only in ScenarioResult::perf, which deterministic JSON omits (include_perf=false)
     const auto wall_start = std::chrono::steady_clock::now();
     network_->sim().run_until(SimTime::seconds(config_.sim_seconds));
+    // geoanon-lint: allow(wallclock) -- host perf measurement; see above
     const std::chrono::duration<double> wall = std::chrono::steady_clock::now() - wall_start;
     ScenarioResult r = aggregate();
     r.perf.wall_seconds = wall.count();
@@ -274,8 +276,8 @@ ScenarioResult ScenarioRunner::aggregate() {
     for (std::uint32_t s : sent_per_flow_) app_sent += s;
     reg.add("app.sent", app_sent);
     reg.add("app.delivered", app_delivered_);
-    reg.histogram("app.latency_ms").observe_all(latency_ms_);
-    reg.histogram("app.hops").observe_all(hops_);
+    reg.observe_all("app.latency_ms", latency_ms_);
+    reg.observe_all("app.hops", hops_);
 
     network_->publish_metrics(reg);  // phy.* + mac.* across all nodes
     for (auto* a : agfw_agents_) a->publish_metrics(reg);   // agfw.* + ls.*

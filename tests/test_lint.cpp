@@ -1,0 +1,341 @@
+// Self-test suite for tools/geoanon_lint: one positive and one negative
+// fixture per rule, suppression-comment handling, JSON output schema, and
+// CLI exit codes. Fixtures are in-memory strings fed straight to the
+// scanner; only the exit-code tests shell out to the real binary.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+using geoanon::lint::FileInput;
+using geoanon::lint::Finding;
+using geoanon::lint::Rule;
+using geoanon::lint::scan_file;
+using geoanon::lint::scan_files;
+
+namespace {
+
+std::vector<Finding> scan(const std::string& path, const std::string& content) {
+    return scan_file(FileInput{path, content});
+}
+
+bool has_rule(const std::vector<Finding>& fs, Rule r) {
+    for (const Finding& f : fs)
+        if (f.rule == r) return true;
+    return false;
+}
+
+std::size_t count_rule(const std::vector<Finding>& fs, Rule r) {
+    std::size_t n = 0;
+    for (const Finding& f : fs)
+        if (f.rule == r) ++n;
+    return n;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// GL001 wallclock
+// ---------------------------------------------------------------------------
+
+TEST(LintWallClock, FlagsChronoClocks) {
+    const auto fs = scan("src/x.cpp",
+                         "void f() { auto t = std::chrono::steady_clock::now(); }\n");
+    ASSERT_EQ(fs.size(), 1u);
+    EXPECT_EQ(fs[0].rule, Rule::kWallClock);
+    EXPECT_EQ(fs[0].line, 1u);
+}
+
+TEST(LintWallClock, SimTimeIsClean) {
+    const auto fs = scan("src/x.cpp",
+                         "SimTime t = sim.now(); auto s = t.to_seconds();\n");
+    EXPECT_FALSE(has_rule(fs, Rule::kWallClock));
+}
+
+TEST(LintWallClock, CommentAndStringMentionsAreClean) {
+    const auto fs = scan("src/x.cpp",
+                         "// uses steady_clock? no.\n"
+                         "const char* s = \"system_clock\";\n");
+    EXPECT_FALSE(has_rule(fs, Rule::kWallClock));
+}
+
+// ---------------------------------------------------------------------------
+// GL002 ambient-rng
+// ---------------------------------------------------------------------------
+
+TEST(LintAmbientRng, FlagsRandAndRandomDevice) {
+    const auto fs = scan("src/x.cpp",
+                         "int a = rand();\n"
+                         "std::random_device rd;\n");
+    EXPECT_EQ(count_rule(fs, Rule::kAmbientRng), 2u);
+}
+
+TEST(LintAmbientRng, UtilRngIsExemptAndMemberCallsClean) {
+    EXPECT_TRUE(scan("src/util/rng.cpp", "int a = rand();\n").empty());
+    // A project method named rand() on an object is not libc rand().
+    const auto fs = scan("src/x.cpp", "auto v = gen.rand();\n");
+    EXPECT_FALSE(has_rule(fs, Rule::kAmbientRng));
+}
+
+// ---------------------------------------------------------------------------
+// GL003 unseeded-engine
+// ---------------------------------------------------------------------------
+
+TEST(LintUnseededEngine, FlagsDefaultConstructed) {
+    EXPECT_TRUE(has_rule(scan("src/x.cpp", "std::mt19937 gen;\n"),
+                         Rule::kUnseededEngine));
+    EXPECT_TRUE(has_rule(scan("src/x.cpp", "std::mt19937 gen{};\n"),
+                         Rule::kUnseededEngine));
+    EXPECT_TRUE(has_rule(scan("src/x.cpp", "auto g = std::mt19937();\n"),
+                         Rule::kUnseededEngine));
+}
+
+TEST(LintUnseededEngine, SeededIsClean) {
+    const auto fs = scan("src/x.cpp", "std::mt19937 gen(seed);\n"
+                                      "std::mt19937_64 g2{0x1234u};\n");
+    EXPECT_FALSE(has_rule(fs, Rule::kUnseededEngine));
+}
+
+// ---------------------------------------------------------------------------
+// GL004 unordered-iter
+// ---------------------------------------------------------------------------
+
+TEST(LintUnorderedIter, FlagsRangeForOverUnorderedMember) {
+    const auto fs = scan("src/x.cpp",
+                         "std::unordered_map<int, int> seen_;\n"
+                         "void f() { for (const auto& [k, v] : seen_) emit(k); }\n");
+    ASSERT_TRUE(has_rule(fs, Rule::kUnorderedIter));
+}
+
+TEST(LintUnorderedIter, FlagsIteratorWalk) {
+    const auto fs = scan("src/x.cpp",
+                         "std::unordered_set<int> ids_;\n"
+                         "void f() { for (auto it = ids_.begin(); it != ids_.end(); ++it) {} }\n");
+    EXPECT_TRUE(has_rule(fs, Rule::kUnorderedIter));
+}
+
+TEST(LintUnorderedIter, VectorIterationAndLookupsAreClean) {
+    const auto fs = scan("src/x.cpp",
+                         "std::unordered_map<int, int> seen_;\n"
+                         "std::vector<int> v_;\n"
+                         "void f() {\n"
+                         "  for (int x : v_) use(x);\n"
+                         "  auto it = seen_.find(3);\n"
+                         "  seen_[4] = 5;\n"
+                         "}\n");
+    EXPECT_FALSE(has_rule(fs, Rule::kUnorderedIter));
+}
+
+TEST(LintUnorderedIter, SiblingHeaderDeclarationsCoverTheCpp) {
+    // Member declared unordered in foo.hpp, iterated in foo.cpp: the
+    // cross-file resolution in scan_files must connect the two.
+    std::vector<FileInput> files;
+    files.push_back({"src/a/foo.hpp",
+                     "class C { std::unordered_map<int, int> table_; };\n"});
+    files.push_back({"src/a/foo.cpp",
+                     "void C::dump() { for (const auto& [k, v] : table_) emit(k); }\n"});
+    const auto fs = scan_files(files);
+    ASSERT_EQ(fs.size(), 1u);
+    EXPECT_EQ(fs[0].rule, Rule::kUnorderedIter);
+    EXPECT_EQ(fs[0].file, "src/a/foo.cpp");
+}
+
+// ---------------------------------------------------------------------------
+// GL005 pointer-key
+// ---------------------------------------------------------------------------
+
+TEST(LintPointerKey, FlagsPointerKeyedOrderedContainers) {
+    EXPECT_TRUE(has_rule(scan("src/x.cpp", "std::map<const Node*, int> m_;\n"),
+                         Rule::kPointerKey));
+    EXPECT_TRUE(has_rule(scan("src/x.cpp", "std::set<Event*> s_;\n"),
+                         Rule::kPointerKey));
+}
+
+TEST(LintPointerKey, ValueKeysAndPointerValuesAreClean) {
+    const auto fs = scan("src/x.cpp",
+                         "std::map<std::string, Node*> by_name_;\n"
+                         "std::set<std::uint64_t> ids_;\n");
+    EXPECT_FALSE(has_rule(fs, Rule::kPointerKey));
+}
+
+// ---------------------------------------------------------------------------
+// GL006 float-accum
+// ---------------------------------------------------------------------------
+
+TEST(LintFloatAccum, FlagsFloatUse) {
+    const auto fs = scan("src/x.cpp", "float sum = 0.f;\n");
+    EXPECT_TRUE(has_rule(fs, Rule::kFloatAccum));
+}
+
+TEST(LintFloatAccum, DoubleIsClean) {
+    EXPECT_TRUE(scan("src/x.cpp", "double sum = 0.0; sum += x;\n").empty());
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions (GL000 + application)
+// ---------------------------------------------------------------------------
+
+TEST(LintSuppression, SameLineAllowSuppresses) {
+    const auto fs = scan(
+        "src/x.cpp",
+        "float q; // geoanon-lint: allow(float-accum) -- fixture reason\n");
+    EXPECT_TRUE(fs.empty());
+}
+
+TEST(LintSuppression, PreviousLineAllowSuppresses) {
+    const auto fs = scan(
+        "src/x.cpp",
+        "// geoanon-lint: allow(float-accum) -- fixture reason\n"
+        "float q;\n");
+    EXPECT_TRUE(fs.empty());
+}
+
+TEST(LintSuppression, AllowDoesNotReachTwoLinesDown) {
+    const auto fs = scan(
+        "src/x.cpp",
+        "// geoanon-lint: allow(float-accum) -- fixture reason\n"
+        "int ok;\n"
+        "float q;\n");
+    EXPECT_EQ(count_rule(fs, Rule::kFloatAccum), 1u);
+}
+
+TEST(LintSuppression, AllowOnlyCoversNamedRule) {
+    const auto fs = scan(
+        "src/x.cpp",
+        "float q = rand(); // geoanon-lint: allow(float-accum) -- fixture reason\n");
+    EXPECT_FALSE(has_rule(fs, Rule::kFloatAccum));
+    EXPECT_TRUE(has_rule(fs, Rule::kAmbientRng));
+}
+
+TEST(LintSuppression, BlockAllowCoversRangeOnly) {
+    const auto fs = scan(
+        "src/x.cpp",
+        "// geoanon-lint: begin-allow(wallclock) -- fixture timing block\n"
+        "auto t0 = std::chrono::steady_clock::now();\n"
+        "auto t1 = std::chrono::steady_clock::now();\n"
+        "// geoanon-lint: end-allow(wallclock)\n"
+        "auto t2 = std::chrono::steady_clock::now();\n");
+    EXPECT_EQ(count_rule(fs, Rule::kWallClock), 1u);
+    EXPECT_EQ(fs.size(), 1u);
+    EXPECT_EQ(fs[0].line, 5u);
+}
+
+TEST(LintSuppression, ReasonIsMandatory) {
+    const auto fs =
+        scan("src/x.cpp", "float q; // geoanon-lint: allow(float-accum)\n");
+    // The reason-less directive does not suppress, and is itself a finding.
+    EXPECT_TRUE(has_rule(fs, Rule::kFloatAccum));
+    EXPECT_TRUE(has_rule(fs, Rule::kSuppression));
+}
+
+TEST(LintSuppression, UnknownRuleAndUnclosedBlockAreFindings) {
+    EXPECT_TRUE(has_rule(
+        scan("src/x.cpp", "// geoanon-lint: allow(no-such-rule) -- why\n"),
+        Rule::kSuppression));
+    EXPECT_TRUE(has_rule(
+        scan("src/x.cpp", "// geoanon-lint: begin-allow(wallclock) -- why\n"),
+        Rule::kSuppression));
+    EXPECT_TRUE(has_rule(
+        scan("src/x.cpp", "// geoanon-lint: end-allow(wallclock)\n"),
+        Rule::kSuppression));
+}
+
+// ---------------------------------------------------------------------------
+// Output formats
+// ---------------------------------------------------------------------------
+
+TEST(LintOutput, TextFormat) {
+    const auto fs = scan("src/x.cpp", "float q;\n");
+    const std::string text = geoanon::lint::to_text(fs);
+    EXPECT_NE(text.find("src/x.cpp:1: [GL006/float-accum]"), std::string::npos);
+    EXPECT_NE(text.find("1 finding(s)"), std::string::npos);
+}
+
+TEST(LintOutput, JsonSchema) {
+    const auto fs = scan("src/x.cpp", "float q;\n");
+    const std::string json = geoanon::lint::to_json(fs);
+    EXPECT_NE(json.find("\"tool\":\"geoanon_lint\""), std::string::npos);
+    EXPECT_NE(json.find("\"version\":1"), std::string::npos);
+    EXPECT_NE(json.find("\"count\":1"), std::string::npos);
+    EXPECT_NE(json.find("\"rule_id\":\"GL006\""), std::string::npos);
+    EXPECT_NE(json.find("\"rule\":\"float-accum\""), std::string::npos);
+    EXPECT_NE(json.find("\"file\":\"src/x.cpp\""), std::string::npos);
+    EXPECT_NE(json.find("\"line\":1"), std::string::npos);
+    EXPECT_NE(json.find("\"message\":"), std::string::npos);
+}
+
+TEST(LintOutput, FindingsAreSortedByFileLineRule) {
+    std::vector<FileInput> files;
+    files.push_back({"src/b.cpp", "float x;\n"});
+    files.push_back({"src/a.cpp", "int i;\nfloat y;\nfloat z;\n"});
+    const auto fs = scan_files(files);
+    ASSERT_EQ(fs.size(), 3u);
+    EXPECT_EQ(fs[0].file, "src/a.cpp");
+    EXPECT_EQ(fs[0].line, 2u);
+    EXPECT_EQ(fs[1].file, "src/a.cpp");
+    EXPECT_EQ(fs[1].line, 3u);
+    EXPECT_EQ(fs[2].file, "src/b.cpp");
+}
+
+TEST(LintOutput, RuleIdsAreStable) {
+    using geoanon::lint::rule_id;
+    using geoanon::lint::rule_name;
+    EXPECT_STREQ(rule_id(Rule::kSuppression), "GL000");
+    EXPECT_STREQ(rule_id(Rule::kWallClock), "GL001");
+    EXPECT_STREQ(rule_id(Rule::kAmbientRng), "GL002");
+    EXPECT_STREQ(rule_id(Rule::kUnseededEngine), "GL003");
+    EXPECT_STREQ(rule_id(Rule::kUnorderedIter), "GL004");
+    EXPECT_STREQ(rule_id(Rule::kPointerKey), "GL005");
+    EXPECT_STREQ(rule_id(Rule::kFloatAccum), "GL006");
+    Rule r;
+    ASSERT_TRUE(geoanon::lint::rule_from_name("unordered-iter", r));
+    EXPECT_EQ(r, Rule::kUnorderedIter);
+    ASSERT_TRUE(geoanon::lint::rule_from_name("GL004", r));
+    EXPECT_EQ(r, Rule::kUnorderedIter);
+    EXPECT_FALSE(geoanon::lint::rule_from_name("nope", r));
+    EXPECT_STREQ(rule_name(Rule::kWallClock), "wallclock");
+}
+
+// ---------------------------------------------------------------------------
+// CLI exit codes (drives the real binary on temp fixture trees)
+// ---------------------------------------------------------------------------
+
+#ifdef GEOANON_LINT_BIN
+namespace {
+
+int run_lint(const std::string& args) {
+    const int rc = std::system((std::string(GEOANON_LINT_BIN) + " " + args +
+                                " > /dev/null 2>&1")
+                                   .c_str());
+    return WEXITSTATUS(rc);
+}
+
+}  // namespace
+
+TEST(LintCli, ExitCodes) {
+    namespace fs = std::filesystem;
+    const fs::path dir =
+        fs::temp_directory_path() / "geoanon_lint_cli_fixture";
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    {
+        std::ofstream clean(dir / "clean.cpp");
+        clean << "double ok = 0.0;\n";
+    }
+    EXPECT_EQ(run_lint("--root=" + dir.string() + " clean.cpp"), 0);
+    {
+        std::ofstream dirty(dir / "dirty.cpp");
+        dirty << "float bad;\n";
+    }
+    EXPECT_EQ(run_lint("--root=" + dir.string() + " dirty.cpp"), 1);
+    EXPECT_EQ(run_lint("--root=" + dir.string() + " no_such_file.cpp"), 2);
+    EXPECT_EQ(run_lint("--no-such-flag"), 2);
+    fs::remove_all(dir);
+}
+#endif  // GEOANON_LINT_BIN

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace geoanon::lint {
+
+/// Project-specific determinism rules clang-tidy cannot express. Rule IDs
+/// are stable (they appear in suppression comments, CI output, and the JSON
+/// schema); new rules append, existing IDs never renumber. DESIGN.md §12
+/// documents each rule's rationale.
+enum class Rule {
+    kSuppression,    ///< GL000: malformed / reason-less suppression comment
+    kWallClock,      ///< GL001: wall-clock time source outside allowed blocks
+    kAmbientRng,     ///< GL002: rand()/std::random_device outside util/rng
+    kUnseededEngine, ///< GL003: default-constructed <random> engine
+    kUnorderedIter,  ///< GL004: iteration over unordered container state
+    kPointerKey,     ///< GL005: pointer-keyed ordered container
+    kFloatAccum,     ///< GL006: float arithmetic/state (stats must be double)
+};
+
+inline constexpr Rule kAllRules[] = {
+    Rule::kSuppression,    Rule::kWallClock,  Rule::kAmbientRng,
+    Rule::kUnseededEngine, Rule::kUnorderedIter, Rule::kPointerKey,
+    Rule::kFloatAccum,
+};
+
+const char* rule_id(Rule r);    ///< "GL001"
+const char* rule_name(Rule r);  ///< "wallclock" — the name suppressions use
+const char* rule_summary(Rule r);
+bool rule_from_name(const std::string& name, Rule& out);
+
+struct Finding {
+    Rule rule{Rule::kSuppression};
+    std::string file;
+    std::size_t line{0};
+    std::string message;
+};
+
+/// One source file, content already loaded — the scanner never touches the
+/// filesystem, so tests feed it strings directly.
+struct FileInput {
+    std::string path;
+    std::string content;
+};
+
+/// Names declared in `content` with an unordered container type
+/// (std::unordered_map / std::unordered_set, multimap/multiset variants).
+std::set<std::string> unordered_decls(const std::string& content);
+
+/// Scan one file. `extra_unordered` carries names declared unordered
+/// elsewhere but iterated here (in practice: the sibling header of a .cpp).
+std::vector<Finding> scan_file(const FileInput& in,
+                               const std::set<std::string>& extra_unordered = {});
+
+/// Scan a set of files, resolving each foo.cpp against a foo.hpp / foo.h
+/// sibling in the same directory when present. Findings are sorted by
+/// (file, line, rule) so output is stable regardless of input order.
+std::vector<Finding> scan_files(const std::vector<FileInput>& files);
+
+std::string to_text(const std::vector<Finding>& findings);
+/// Stable schema: {"tool","version","count","findings":[{"rule_id","rule",
+/// "file","line","message"}]}.
+std::string to_json(const std::vector<Finding>& findings);
+
+}  // namespace geoanon::lint

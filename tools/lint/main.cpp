@@ -1,0 +1,103 @@
+// geoanon_lint — project-specific determinism & concurrency lint.
+//
+// Usage:
+//   geoanon_lint [--json] [--root=DIR] [path...]
+//
+// Paths (files or directories, default: src bench tools) are resolved
+// relative to --root (default: cwd). Directories are walked recursively for
+// .cpp/.hpp/.h sources. Exit 0 = clean, 1 = findings, 2 = usage/IO error.
+//
+// The rules, their IDs, and the suppression syntax are documented in
+// DESIGN.md §12.
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace fs = std::filesystem;
+using geoanon::lint::FileInput;
+
+namespace {
+
+bool is_source(const fs::path& p) {
+    const std::string ext = p.extension().string();
+    return ext == ".cpp" || ext == ".hpp" || ext == ".h";
+}
+
+bool load(const fs::path& root, const fs::path& file, std::vector<FileInput>& out) {
+    std::ifstream in(file, std::ios::binary);
+    if (!in) {
+        std::fprintf(stderr, "geoanon_lint: cannot read %s\n", file.c_str());
+        return false;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    // Report paths relative to the root so output and suppressions are
+    // machine-independent.
+    std::error_code ec;
+    fs::path rel = fs::relative(file, root, ec);
+    out.push_back({ec ? file.generic_string() : rel.generic_string(), ss.str()});
+    return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    bool json = false;
+    fs::path root = fs::current_path();
+    std::vector<std::string> paths;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--json") {
+            json = true;
+        } else if (arg.rfind("--root=", 0) == 0) {
+            root = arg.substr(7);
+        } else if (arg == "--help" || arg == "-h") {
+            std::printf("usage: geoanon_lint [--json] [--root=DIR] [path...]\n");
+            return 0;
+        } else if (arg.rfind("--", 0) == 0) {
+            std::fprintf(stderr, "geoanon_lint: unknown option %s\n", arg.c_str());
+            return 2;
+        } else {
+            paths.push_back(arg);
+        }
+    }
+    if (paths.empty()) paths = {"src", "bench", "tools"};
+
+    std::vector<FileInput> files;
+    for (const std::string& p : paths) {
+        const fs::path abs = fs::path(p).is_absolute() ? fs::path(p) : root / p;
+        std::error_code ec;
+        if (fs::is_directory(abs, ec)) {
+            std::vector<fs::path> found;
+            for (const auto& ent : fs::recursive_directory_iterator(abs, ec)) {
+                if (ent.is_regular_file() && is_source(ent.path()))
+                    found.push_back(ent.path());
+            }
+            std::sort(found.begin(), found.end());
+            for (const fs::path& f : found)
+                if (!load(root, f, files)) return 2;
+        } else if (fs::is_regular_file(abs, ec)) {
+            if (!load(root, abs, files)) return 2;
+        } else {
+            std::fprintf(stderr, "geoanon_lint: no such file or directory: %s\n",
+                         abs.c_str());
+            return 2;
+        }
+    }
+
+    const std::vector<geoanon::lint::Finding> findings =
+        geoanon::lint::scan_files(files);
+    const std::string out = json ? geoanon::lint::to_json(findings)
+                                 : geoanon::lint::to_text(findings);
+    std::fputs(out.c_str(), stdout);
+    if (json) std::fputc('\n', stdout);
+    return findings.empty() ? 0 : 1;
+}

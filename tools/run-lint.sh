@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Run geoanon_lint (the project's determinism/ordering lint, tools/lint/)
+# over the default tree: src/, bench/, tools/.
+#
+# Usage:
+#   tools/run-lint.sh [build-dir] [-- extra geoanon_lint args]
+#
+# The build dir defaults to ./build and must contain the geoanon_lint
+# binary (target: geoanon_lint). Builds it on demand when a CMake cache is
+# present. Exits nonzero on any finding; suppress individual findings in
+# source with `// geoanon-lint: allow(<rule>) -- <reason>` (see DESIGN.md
+# section 12 for the rule list and suppression grammar).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="build"
+if [[ $# -gt 0 && "$1" != "--" ]]; then
+  BUILD_DIR="$1"
+  shift
+fi
+[[ $# -gt 0 && "$1" == "--" ]] && shift
+
+BIN="$BUILD_DIR/tools/geoanon_lint"
+if [[ ! -x "$BIN" ]]; then
+  if [[ -f "$BUILD_DIR/CMakeCache.txt" ]]; then
+    echo "run-lint: building geoanon_lint in $BUILD_DIR" >&2
+    cmake --build "$BUILD_DIR" --target geoanon_lint
+  else
+    echo "run-lint: $BIN not found. Configure first: cmake --preset default" >&2
+    exit 2
+  fi
+fi
+
+exec "$BIN" "$@"

@@ -44,13 +44,15 @@ if [[ ! -f "$DB" ]]; then
 fi
 
 # Library + harness sources; generated and third-party code is excluded by
-# construction (everything we own lives under src/, fuzz/, examples/).
-mapfile -t FILES < <(find src fuzz examples -name '*.cpp' | sort)
+# construction (everything we own lives under src/, fuzz/, examples/, tools/).
+mapfile -t FILES < <(find src fuzz examples tools -name '*.cpp' | sort)
 
+# .clang-tidy already sets WarningsAsErrors: '*'; the explicit flag makes the
+# gate independent of config drift so CI fails on any warning regardless.
 echo "run-tidy: $TIDY over ${#FILES[@]} files (db: $DB)"
 FAILED=0
 for f in "${FILES[@]}"; do
-  if ! "$TIDY" -p "$BUILD_DIR" --quiet "$@" "$f"; then
+  if ! "$TIDY" -p "$BUILD_DIR" --quiet --warnings-as-errors='*' "$@" "$f"; then
     echo "run-tidy: FAILED $f" >&2
     FAILED=1
   fi
