@@ -148,17 +148,21 @@ void AgfwAgent::on_node_restart() {
     if (ls_) ls_->reset();
 }
 
+// geoanon: hot
 void AgfwAgent::send_hello() {
     if (!node_.up()) return;  // crashed: the hello timer keeps ticking idly
     purge_soft_state();
     ant_.purge(node_.sim().now());
 
+    // geoanon-lint: allow(hot-alloc) -- packets are immutable shared-ownership objects by design; a packet arena is ROADMAP item 1, not a per-call fix
     auto pkt = std::make_shared<Packet>();
     pkt->type = net::PacketType::kAgfwHello;
     pkt->hello_pseudonym = pseudonyms_.rotate();
     GEOANON_TRACE(node_.sim(), .type = obs::EventType::kPseudonymRotated,
                   .node = node_.id(), .detail = pkt->hello_pseudonym);
+    // geoanon-lint: allow(privacy-taint) -- §3.1: the hello's cleartext location IS the routable information; anonymity comes from the pseudonym, not from hiding position
     pkt->hello_loc = node_.position();
+    // geoanon-lint: allow(privacy-taint) -- §3.1.1 motion hint, same by-design exposure as hello_loc
     if (params_.send_velocity_hint) pkt->hello_velocity = node_.velocity();
     pkt->hello_ts = node_.sim().now();
 
@@ -166,8 +170,10 @@ void AgfwAgent::send_hello() {
     if (params_.authenticated_hello) {
         // Ring = self + k distinct others, randomly drawn from all valid
         // users (§3.1.2), shuffled so the signer's slot is not positional.
-        std::vector<crypto::NodeIdNum> ring{node_.id()};
         const std::size_t want = std::min(params_.ring_k, ring_universe_.size() - 1);
+        std::vector<crypto::NodeIdNum> ring;
+        ring.reserve(want + 1);
+        ring.push_back(node_.id());
         while (ring.size() < want + 1) {
             const auto pick = ring_universe_[static_cast<std::size_t>(
                 node_.rng().uniform_int(0, static_cast<std::int64_t>(ring_universe_.size()) - 1))];
@@ -181,6 +187,7 @@ void AgfwAgent::send_hello() {
         }
         const auto msg = hello_signing_bytes(*pkt);
         pkt->auth = engine_.ring_sign_msg(node_.id(), ring, msg, node_.rng());
+        // geoanon-lint: allow(privacy-taint) -- §3.1.2: the ring member list is the anonymity set and must be cleartext for verifiers; the signer hides among k+1 members
         pkt->ring_members = std::move(ring);
         cost = engine_.costs().ring_sign(pkt->ring_members.size());
     }

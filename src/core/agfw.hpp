@@ -202,7 +202,15 @@ class AgfwAgent final : public net::RoutingAgent {
     void purge_soft_state();
     std::vector<Pseudonym> active_blacklist() const;
     void charge(util::SimTime cost, std::function<void()> done);
-    std::uint64_t fresh_uid() { return (static_cast<std::uint64_t>(node_.id()) << 32) | next_uid_++; }
+    /// Globally unique data-packet uid. The (id, counter) pair guarantees
+    /// uniqueness across sources; the PRP hides that layout on the wire —
+    /// raw (id << 32 | counter) uids would name the data source on every
+    /// frame, and on every ACK that echoes the uid back (GL010's headline
+    /// finding before this sanitized).
+    std::uint64_t fresh_uid() {
+        return engine_.anonymize_uid(
+            (static_cast<std::uint64_t>(node_.id()) << 32) | next_uid_++);
+    }
 
     net::Node& node_;
     Params params_;

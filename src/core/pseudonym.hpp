@@ -24,6 +24,7 @@ class PseudonymManager {
     }
 
     /// Generate and adopt a fresh pseudonym; the previous one stays valid.
+    // geoanon: sanitizer(pseudonym)
     Pseudonym rotate() {
         previous_ = current_;
         current_ = engine_.make_pseudonym(id_, rng_.next_u64());

@@ -10,7 +10,30 @@ namespace geoanon::crypto {
 namespace {
 constexpr std::uint32_t kTrapdoorMagic = 0x54524150;  // "TRAP"
 constexpr std::uint64_t kPseudonymMask = (1ULL << 48) - 1;
+
+util::Bytes uid_prp_key(std::uint64_t seed) {
+    util::ByteWriter w;
+    w.u64(seed);
+    Sha256 h;
+    h.update(w.data());
+    h.update("geoanon-uid-prp");
+    const Sha256::Digest d = h.finish();
+    return util::Bytes(d.begin(), d.end());
+}
 }  // namespace
+
+CryptoEngine::CryptoEngine(std::uint64_t seed)
+    : uid_prp_(uid_prp_key(seed), /*block_bytes=*/8) {}
+
+std::uint64_t CryptoEngine::anonymize_uid(std::uint64_t uid) const {
+    std::array<std::uint8_t, 8> block;
+    for (int i = 0; i < 8; ++i)
+        block[i] = static_cast<std::uint8_t>(uid >> (56 - 8 * i));
+    const util::Bytes out = uid_prp_.encrypt(block);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v = (v << 8) | out[static_cast<std::size_t>(i)];
+    return v;
+}
 
 Pseudonym CryptoEngine::make_pseudonym(NodeIdNum id, std::uint64_t pr) const {
     util::ByteWriter w;
@@ -27,7 +50,7 @@ Pseudonym CryptoEngine::make_pseudonym(NodeIdNum id, std::uint64_t pr) const {
 // ---------------------------------------------------------------------------
 
 RealCryptoEngine::RealCryptoEngine(std::uint64_t seed, std::size_t modulus_bits)
-    : rng_(seed), modulus_bits_(modulus_bits), ca_(rng_, modulus_bits) {}
+    : CryptoEngine(seed), rng_(seed), modulus_bits_(modulus_bits), ca_(rng_, modulus_bits) {}
 
 void RealCryptoEngine::register_node(NodeIdNum id) {
     if (nodes_.contains(id)) return;
@@ -172,7 +195,7 @@ std::size_t RealCryptoEngine::certificate_bytes() const {
 // ---------------------------------------------------------------------------
 
 ModeledCryptoEngine::ModeledCryptoEngine(std::uint64_t seed, std::size_t modulus_bits)
-    : seed_(seed), modulus_bits_(modulus_bits) {}
+    : CryptoEngine(seed), seed_(seed), modulus_bits_(modulus_bits) {}
 
 void ModeledCryptoEngine::register_node(NodeIdNum id) { nodes_[id] = true; }
 

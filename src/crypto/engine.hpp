@@ -7,6 +7,7 @@
 #include <unordered_map>
 
 #include "crypto/cert.hpp"
+#include "crypto/feistel.hpp"
 #include "crypto/ring_signature.hpp"
 #include "crypto/rsa.hpp"
 #include "util/bytes.hpp"
@@ -65,11 +66,23 @@ class CryptoEngine {
 
     /// §3.1.1: n = hash(pr, id) truncated to 48 bits; never returns the
     /// reserved value 0. Cheap in both engines (it is just a hash).
+    // geoanon: sanitizer(pseudonym)
     Pseudonym make_pseudonym(NodeIdNum id, std::uint64_t pr) const;
+
+    /// Keyed 64-bit pseudorandom permutation over data-packet uids. AGFW
+    /// builds uids as (source id << 32 | counter), which guarantees global
+    /// uniqueness but would leak the data source's identity on every wire
+    /// frame (including the ACKs that echo uids back). Passing the raw uid
+    /// through a PRP keeps uniqueness exactly (bijective) while making the
+    /// layout unrecoverable without the engine key. Deterministic in the
+    /// engine seed; consumes no Rng draws.
+    // geoanon: sanitizer(uid-prp)
+    std::uint64_t anonymize_uid(std::uint64_t uid) const;
 
     // --- Trapdoors (§3.2) -------------------------------------------------
     /// Build a trapdoor only `dest` can open, carrying `payload`
     /// (source id/location/tag in AGFW). Fixed-size output (trapdoor_bytes()).
+    // geoanon: sanitizer(trapdoor)
     virtual util::Bytes make_trapdoor(NodeIdNum dest, std::span<const std::uint8_t> payload,
                                       util::Rng& rng) = 0;
     /// Attempt to open; payload iff `self` is the intended destination.
@@ -79,6 +92,7 @@ class CryptoEngine {
 
     // --- Public-key encryption for ALS (§3.3) ------------------------------
     /// Multi-block public-key encryption of arbitrary-length plaintext.
+    // geoanon: sanitizer(pk-encrypt)
     virtual util::Bytes encrypt_for(NodeIdNum dest, std::span<const std::uint8_t> plaintext,
                                     util::Rng& rng) = 0;
     virtual std::optional<util::Bytes> try_decrypt(NodeIdNum self,
@@ -88,12 +102,16 @@ class CryptoEngine {
     /// Deterministic fixed-size index E_{K_B}(A,B): computable by anyone who
     /// holds B's certificate (which is exactly the paper's stated exposure
     /// risk for the indexed ALS variant), equal at updater and requester.
+    // geoanon: sanitizer(als-index)
     virtual util::Bytes als_index(NodeIdNum updater, NodeIdNum requester) const = 0;
     static constexpr std::size_t kAlsIndexBytes = 16;
 
     // --- Ring signatures (§3.1.2) -------------------------------------------
     /// Sign as `signer` (which must appear in `ring`). Returns the serialized
-    /// signature.
+    /// signature. A sanitizer for the *signer* identity only: the ring member
+    /// list itself still rides the wire in cleartext (the paper's §3.1.2
+    /// anonymity-set design — see the suppression at the hello builder).
+    // geoanon: sanitizer(ring-sig)
     virtual util::Bytes ring_sign_msg(NodeIdNum signer, std::span<const NodeIdNum> ring,
                                       std::span<const std::uint8_t> msg, util::Rng& rng) = 0;
     virtual bool ring_verify_msg(std::span<const NodeIdNum> ring,
@@ -108,7 +126,14 @@ class CryptoEngine {
     CryptoCosts& costs() { return costs_; }
 
   protected:
+    /// The seed keys the uid permutation; both engines forward their own seed
+    /// so a whole simulation shares one uid keyspace.
+    explicit CryptoEngine(std::uint64_t seed);
+
     CryptoCosts costs_;
+
+  private:
+    FeistelPermutation uid_prp_;
 };
 
 /// Engine doing the real math; key sizes configurable so tests can trade

@@ -31,6 +31,7 @@ namespace codec {
 /// created_at, uid, hops) are carried in a trace trailer ONLY when
 /// `include_trace` is set (used by tests; real deployments would not send
 /// them — uid exists on the air implicitly as the trapdoor bits, §3.2).
+// geoanon: sink(air)
 util::Bytes encode(const Packet& pkt, bool include_trace = false);
 
 /// Size of encode(pkt, false) without materializing it.

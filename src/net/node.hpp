@@ -50,16 +50,20 @@ class Node {
          std::unique_ptr<mobility::MobilityModel> mobility, mac::MacParams mac_params,
          util::Rng rng);
 
+    // geoanon: source(node-id)
     NodeId id() const { return id_; }
     MacAddr mac_addr() const { return mac_.address(); }
     /// The position the node *believes* (its GPS fix): true position plus
     /// the injected GPS error, when one is set. The radio always uses the
     /// true physical position (see the constructor).
+    // geoanon: source(gps)
     util::Vec2 position() const {
         const util::Vec2 p = mobility_->position_at(sim_.now());
         return gps_error_ ? p + gps_error_(sim_.now()) : p;
     }
+    // geoanon: source(gps)
     util::Vec2 true_position() const { return mobility_->position_at(sim_.now()); }
+    // geoanon: source(gps)
     util::Vec2 velocity() const { return mobility_->velocity_at(sim_.now()); }
 
     sim::Simulator& sim() { return sim_; }

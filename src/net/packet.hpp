@@ -47,14 +47,19 @@ struct Packet {
     std::uint16_t hops{0};          ///< incremented per network-layer hop
     /// Unique per end-to-end packet; survives forwarding copies. Used for
     /// network-layer dedup/implicit-ACK and by the eavesdropper to correlate
-    /// consecutive hops ("same trapdoor" correlation, §3.2).
+    /// consecutive hops ("same trapdoor" correlation, §3.2). Echoed on the
+    /// air in ACKs and exported in traces — identity material must pass
+    /// CryptoEngine::anonymize_uid before landing here.
+    // geoanon: sink(wire)
     std::uint64_t uid{0};
 
     // --- geographic routing fields (cleartext on the air, §4) -----------
     Vec2 dst_loc{};                 ///< destination location loc_d
 
     // --- plain (identity-bearing) fields: GPSR / plain DLM only ---------
+    // geoanon: sink(wire)
     NodeId src_id{kInvalidNode};
+    // geoanon: sink(wire)
     NodeId dst_id{kInvalidNode};
 
     // --- anonymous fields: AGFW / ANT / ALS ------------------------------
@@ -63,25 +68,32 @@ struct Packet {
 
     // --- hello fields (kGpsrHello carries id, kAgfwHello pseudonym) ------
     std::uint64_t hello_pseudonym{0};
+    // geoanon: sink(wire)
     Vec2 hello_loc{};
+    // geoanon: sink(wire)
     Vec2 hello_velocity{};          ///< optional motion hint (§3.1.1)
     SimTime hello_ts{};
     Bytes auth;                     ///< ring signature bytes (authenticated ANT)
     /// Ring member identities (as certificate references, §4); needed by the
     /// verifier to reconstruct the ring.
+    // geoanon: sink(wire)
     std::vector<std::uint64_t> ring_members;
 
     // --- network-layer ACK fields ----------------------------------------
     /// uids being acknowledged; §3.2 allows one ACK to cover several
     /// received packets (aggregation window in AgfwAgent::Params).
+    // geoanon: sink(wire)
     std::vector<std::uint64_t> ack_uids;
 
     // --- location service fields ------------------------------------------
     std::uint32_t grid{0};          ///< ssa(target): home grid index
     Bytes ls_index;                 ///< ALS: E_{K_B}(A,B) row index
     Bytes ls_payload;               ///< ALS: E_{K_B}(A, loc_A, ts)
+    // geoanon: sink(wire)
     NodeId ls_subject{kInvalidNode};  ///< plain DLM: subject identity
+    // geoanon: sink(wire)
     Vec2 ls_subject_loc{};          ///< plain DLM: subject location
+    // geoanon: sink(wire)
     Vec2 requester_loc{};           ///< LREQ: where to send the LREP (loc_B)
     std::uint64_t ls_query_id{0};   ///< matches LREP to LREQ at the requester
     /// Set on one-hop assist/last-resort copies of LS packets so receivers

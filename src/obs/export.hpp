@@ -22,10 +22,12 @@ struct TraceMeta {
 /// loadable in Perfetto / chrome://tracing. Instant events (ph "i"), ts in
 /// microseconds, pid 0, tid = node id (-1 for unattributed events). All
 /// numbers use JsonWriter's fixed formatting: same events in, same bytes out.
+// geoanon: sink(trace)
 std::string to_chrome_trace_json(const std::vector<Event>& events, const TraceMeta& meta);
 
 /// Render phy-layer events (kPhyTx/kPhyRx/kPhyDrop) as a pcap-style text
 /// frame log, one line per frame event: time, direction, node, uid, bytes.
+// geoanon: sink(trace)
 std::string to_frame_log(const std::vector<Event>& events);
 
 }  // namespace geoanon::obs

@@ -197,6 +197,7 @@ class Parser {
         out.kind = JsonValue::Kind::kNumber;
         out.number = std::strtod(tok.c_str(), &end);
         if (end == nullptr || *end != '\0') return fail("bad number");
+        out.number_raw = tok;
         return true;
     }
 
@@ -217,6 +218,18 @@ bool schema_fail(std::string& error, std::size_t index, const char* msg) {
 bool get_u64(const JsonValue& obj, const char* key, std::uint64_t& out) {
     const JsonValue* v = obj.find(key);
     if (v == nullptr || v->kind != JsonValue::Kind::kNumber) return false;
+    // Exact path: a plain unsigned integer token is re-parsed from source so
+    // values above 2^53 (full 64-bit uids) survive the double in `number`.
+    const std::string& raw = v->number_raw;
+    if (!raw.empty() &&
+        raw.find_first_not_of("0123456789") == std::string::npos) {
+        errno = 0;
+        char* end = nullptr;
+        const unsigned long long u = std::strtoull(raw.c_str(), &end, 10);
+        if (errno != 0 || end == nullptr || *end != '\0') return false;
+        out = u;
+        return true;
+    }
     if (v->number < 0) return false;
     out = static_cast<std::uint64_t>(v->number);
     if (static_cast<double>(out) != v->number) return false;

@@ -20,6 +20,10 @@ struct JsonValue {
     Kind kind{Kind::kNull};
     bool boolean{false};
     double number{0.0};
+    /// Raw source token of a kNumber. `number` is a double and silently
+    /// rounds integers above 2^53 (packet uids are full 64-bit PRP outputs);
+    /// exact u64 extraction re-parses this instead.
+    std::string number_raw;
     std::string string;
     std::vector<JsonValue> array;
     std::vector<std::pair<std::string, JsonValue>> object;

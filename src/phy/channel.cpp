@@ -192,6 +192,7 @@ void Channel::deliver_from(Radio* /*sender*/, const Frame& frame, const Vec2& se
     receiver->energy_start(tx_id, decodable, frame);
 }
 
+// geoanon: hot
 void Channel::start_tx(Radio* sender, const Frame& frame) {
     ++stats_.transmissions;
     const std::uint64_t tx_id = next_tx_id_++;
@@ -209,6 +210,9 @@ void Channel::start_tx(Radio* sender, const Frame& frame) {
     // events they schedule) fire in the same FIFO order either way.
     std::vector<Radio*> affected;
     if (brute_force_) {
+        // Validation path only (every radio is a candidate), so the full
+        // upper bound is the right reservation.
+        affected.reserve(radios_.empty() ? 0 : radios_.size() - 1);
         for (Radio* r : radios_) {
             if (r == sender) continue;
             deliver_from(sender, frame, sender_pos, tx_id, r, r->position(), affected);
@@ -221,11 +225,14 @@ void Channel::start_tx(Radio* sender, const Frame& frame) {
             for (std::int32_t dy = -1; dy <= 1; ++dy) {
                 const auto it = buckets_.find(cell_key({center.x + dx, center.y + dy}));
                 if (it == buckets_.end()) continue;
+                // geoanon-lint: allow(hot-alloc) -- candidates_ is member scratch: capacity persists across calls, so growth amortizes to zero over the run
                 candidates_.insert(candidates_.end(), it->second.begin(), it->second.end());
             }
         }
+        // geoanon-lint: allow(hot-alloc) -- member scratch, see above
         candidates_.insert(candidates_.end(), unbucketed_.begin(), unbucketed_.end());
         std::sort(candidates_.begin(), candidates_.end());
+        affected.reserve(candidates_.size());
         for (const std::uint32_t idx : candidates_) {
             Radio* r = radios_[idx];
             if (r == sender) continue;

@@ -53,7 +53,9 @@ void GpsrGreedyAgent::send_hello() {
     purge_neighbors();
     auto pkt = std::make_shared<Packet>();
     pkt->type = net::PacketType::kGpsrHello;
+    // geoanon-lint: allow(privacy-taint) -- GPSR is the non-anonymous baseline (§2): exposing id+location on hellos is exactly the behavior the paper's scheme is measured against
     pkt->src_id = node_.id();
+    // geoanon-lint: allow(privacy-taint) -- GPSR baseline, see src_id above
     pkt->hello_loc = node_.position();
     pkt->hello_ts = node_.sim().now();
     pkt->wire_bytes = static_cast<std::uint32_t>(net::codec::encoded_size(*pkt));

@@ -65,7 +65,9 @@ void LocationService::send_update() {
     pkt->uid = hooks_.rng->next_u64();
 
     if (mode_ == Mode::kPlain) {
+        // geoanon-lint: allow(privacy-taint) -- plain DLM baseline: cleartext subject identity is the §3.3 exposure ALS exists to remove; the anonymous mode routes through make_index/encrypt_for instead
         pkt->ls_subject = me;
+        // geoanon-lint: allow(privacy-taint) -- plain DLM baseline, see ls_subject above
         pkt->ls_subject_loc = my_loc;
         pkt->wire_bytes = static_cast<std::uint32_t>(net::codec::encoded_size(*pkt));
         ++stats_.updates_sent;
@@ -126,6 +128,7 @@ void LocationService::send_query(std::uint64_t qid) {
     pkt->grid = grid_.home_grid(q.target);
     pkt->dst_loc = grid_.center_of(pkt->grid);
     pkt->created_at = hooks_.sim->now();
+    // geoanon-lint: allow(privacy-taint) -- LREQ must carry loc_B so the server can geo-route the LREP back (§3.3); the paper accepts this exposure for both DLM and ALS
     pkt->requester_loc = hooks_.my_position();
     pkt->ls_query_id = qid;
     pkt->uid = hooks_.rng->next_u64();
@@ -135,6 +138,7 @@ void LocationService::send_query(std::uint64_t qid) {
         pkt->ls_subject = q.target;
         // Plain DLM exposes the requester; the heterogeneous fallback of an
         // anonymous requester names only the (public) target.
+        // geoanon-lint: allow(privacy-taint) -- plain DLM baseline: requester identity on LREQ is the documented exposure; anonymous mode sends ls_index instead
         if (mode_ == Mode::kPlain) pkt->src_id = hooks_.my_id;
     } else if (mode_ == Mode::kAnonymous || q.fallback) {
         pkt->ls_index = make_index(q.target, hooks_.my_id);

@@ -70,7 +70,9 @@ class LocationService {
         std::function<void(std::shared_ptr<Packet>)> route;
         /// One-hop local broadcast (replication; anonymous replies).
         std::function<void(std::shared_ptr<Packet>)> local_broadcast;
+        // geoanon: source(gps)
         std::function<util::Vec2()> my_position;
+        // geoanon: source(node-id)
         NodeId my_id{net::kInvalidNode};
         sim::Simulator* sim{nullptr};
         util::Rng* rng{nullptr};

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <set>
 #include <vector>
 
 #include "core/agfw.hpp"
@@ -306,6 +307,39 @@ TEST(Agfw, NoIdentityEverOnTheAir) {
     net.run_until(8);
     ASSERT_EQ(net.deliveries.size(), 1u);
     EXPECT_FALSE(leaked);
+}
+
+TEST(Agfw, UidsOnTheAirDoNotEmbedTheSourceId) {
+    // Regression for the GL010 headline leak: fresh_uid() used to build
+    // uids as (source id << 32 | counter), so every data frame — and every
+    // ACK echoing the uid back — named the data source in cleartext. After
+    // the anonymize_uid PRP, no on-air uid may carry the source id in its
+    // top 32 bits, and consecutive uids from one source must not share a
+    // recognizable prefix.
+    AgfwNet net({{0, 0}, {150, 0}});
+    std::vector<std::uint64_t> air_uids;
+    net.network.channel().set_snoop([&](const phy::Frame& f, const Vec2&) {
+        if (!f.payload) return;
+        if (f.payload->type == net::PacketType::kAgfwData && f.payload->uid != 0)
+            air_uids.push_back(f.payload->uid);
+        if (f.payload->type == net::PacketType::kAgfwAck)
+            for (const std::uint64_t uid : f.payload->ack_uids)
+                air_uids.push_back(uid);
+    });
+    net.warm_up();
+    for (std::uint32_t i = 0; i < 4; ++i) net.agents[0]->send_data(1, 0, i, {});
+    net.run_until(10);
+    EXPECT_EQ(net.deliveries.size(), 4u);
+    ASSERT_GE(air_uids.size(), 8u);  // data frames + their ACKs
+    std::set<std::uint64_t> tops;
+    for (const std::uint64_t uid : air_uids) {
+        // Pre-fix shape: uid >> 32 == source node id (0 here, with small
+        // counters below). Neither half may reveal the raw layout.
+        EXPECT_NE(uid >> 32, 0u) << "uid still carries source id 0 on top";
+        tops.insert(uid >> 32);
+    }
+    // All uids from this single source used to collapse onto one top half.
+    EXPECT_GT(tops.size(), 1u);
 }
 
 TEST(Agfw, DuplicateDataDeliveredOnce) {

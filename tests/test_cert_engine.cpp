@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "crypto/cert.hpp"
 #include "crypto/engine.hpp"
 #include "util/rng.hpp"
@@ -87,6 +89,44 @@ TYPED_TEST(EngineTest, PseudonymDeterministicInInputs) {
     EXPECT_EQ(this->engine_.make_pseudonym(1, 555), this->engine_.make_pseudonym(1, 555));
     EXPECT_NE(this->engine_.make_pseudonym(1, 555), this->engine_.make_pseudonym(1, 556));
     EXPECT_NE(this->engine_.make_pseudonym(1, 555), this->engine_.make_pseudonym(2, 555));
+}
+
+TYPED_TEST(EngineTest, AnonymizeUidIsAnInjectivePrp) {
+    // Bijectivity is the whole point: distinct (id, counter) inputs must map
+    // to distinct wire uids, or the dedup/ACK machinery breaks.
+    std::set<std::uint64_t> seen;
+    for (std::uint64_t id = 1; id <= 8; ++id) {
+        for (std::uint64_t ctr = 1; ctr <= 64; ++ctr) {
+            const std::uint64_t raw = (id << 32) | ctr;
+            const std::uint64_t out = this->engine_.anonymize_uid(raw);
+            EXPECT_TRUE(seen.insert(out).second) << "collision at " << raw;
+        }
+    }
+    // Deterministic in the engine seed.
+    EXPECT_EQ(this->engine_.anonymize_uid(0x2A00000001ull),
+              this->engine_.anonymize_uid(0x2A00000001ull));
+}
+
+TYPED_TEST(EngineTest, AnonymizeUidHidesTheIdCounterLayout) {
+    // The regression GL010 was built around: raw uids carried the source id
+    // in the top 32 bits. After the PRP, uids from one source must not share
+    // top bits with each other (nor equal the raw input).
+    const std::uint64_t id = 42;
+    std::set<std::uint64_t> tops;
+    for (std::uint64_t ctr = 1; ctr <= 32; ++ctr) {
+        const std::uint64_t raw = (id << 32) | ctr;
+        const std::uint64_t out = this->engine_.anonymize_uid(raw);
+        EXPECT_NE(out, raw);
+        tops.insert(out >> 32);
+    }
+    // 32 same-source uids land on (essentially) 32 distinct top halves; the
+    // pre-fix layout would put them all on one.
+    EXPECT_GT(tops.size(), 30u);
+}
+
+TEST(EngineSeeds, AnonymizeUidKeyedByEngineSeed) {
+    ModeledCryptoEngine a(1), b(2);
+    EXPECT_NE(a.anonymize_uid(0x2A00000001ull), b.anonymize_uid(0x2A00000001ull));
 }
 
 TYPED_TEST(EngineTest, TrapdoorOnlyDestinationOpens) {

@@ -178,6 +178,294 @@ TEST(LintFloatAccum, DoubleIsClean) {
 }
 
 // ---------------------------------------------------------------------------
+// GL010 privacy-taint
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Self-contained fixture prelude: one source, one sanitizer, one wire sink
+/// field, one sink function — the shapes the real annotations declare in
+/// node.hpp / engine.hpp / packet.hpp / codec.hpp.
+const char* kTaintPrelude =
+    "struct Pkt {\n"
+    "  // geoanon: sink(wire)\n"
+    "  std::uint64_t uid{0};\n"
+    "  // geoanon: sink(wire)\n"
+    "  std::vector<std::uint64_t> ack_uids;\n"
+    "};\n"
+    "// geoanon: source(node-id)\n"
+    "std::uint64_t my_id();\n"
+    "// geoanon: sanitizer(prp)\n"
+    "std::uint64_t scramble(std::uint64_t v);\n"
+    "// geoanon: sink(air)\n"
+    "void transmit(std::uint64_t v);\n";
+
+std::string taint_fixture(const std::string& body) {
+    return std::string(kTaintPrelude) + body;
+}
+
+}  // namespace
+
+TEST(LintPrivacyTaint, FlagsDirectSourceToSinkAssignment) {
+    const auto fs = scan(
+        "src/x.cpp",
+        taint_fixture("void f(Pkt& p) { p.uid = my_id(); }\n"));
+    ASSERT_EQ(count_rule(fs, Rule::kPrivacyTaint), 1u);
+    for (const Finding& f : fs) {
+        if (f.rule != Rule::kPrivacyTaint) continue;
+        EXPECT_EQ(f.taint_source, "node-id:my_id");
+        EXPECT_EQ(f.taint_sink, "wire:uid");
+        EXPECT_GT(f.taint_source_line, 0u);
+    }
+}
+
+TEST(LintPrivacyTaint, FlagsTaintThroughLocalVariable) {
+    const auto fs = scan(
+        "src/x.cpp",
+        taint_fixture("void f(Pkt& p) {\n"
+                      "  std::uint64_t v = my_id();\n"
+                      "  p.uid = v;\n"
+                      "}\n"));
+    EXPECT_EQ(count_rule(fs, Rule::kPrivacyTaint), 1u);
+}
+
+TEST(LintPrivacyTaint, FlagsSinkFunctionCallAndContainerInsert) {
+    const auto fs = scan(
+        "src/x.cpp",
+        taint_fixture("void f(Pkt& p) {\n"
+                      "  transmit(my_id());\n"
+                      "  p.ack_uids.push_back(my_id());\n"
+                      "}\n"));
+    EXPECT_EQ(count_rule(fs, Rule::kPrivacyTaint), 2u);
+}
+
+TEST(LintPrivacyTaint, SanitizerCallCleansTheFlow) {
+    const auto fs = scan(
+        "src/x.cpp",
+        taint_fixture("void f(Pkt& p) {\n"
+                      "  p.uid = scramble(my_id());\n"
+                      "  std::uint64_t v = scramble(my_id());\n"
+                      "  transmit(v);\n"
+                      "}\n"));
+    EXPECT_FALSE(has_rule(fs, Rule::kPrivacyTaint));
+}
+
+TEST(LintPrivacyTaint, ReassignmentKillsTaint) {
+    const auto fs = scan(
+        "src/x.cpp",
+        taint_fixture("void f(Pkt& p) {\n"
+                      "  std::uint64_t v = my_id();\n"
+                      "  v = 7;\n"
+                      "  p.uid = v;\n"
+                      "}\n"));
+    EXPECT_FALSE(has_rule(fs, Rule::kPrivacyTaint));
+}
+
+TEST(LintPrivacyTaint, HelperReturningTaintBecomesDerivedSource) {
+    // The unfixed fresh_uid() shape: a helper that returns identity-derived
+    // bits must propagate taint to its callers via the derived-source
+    // fixpoint.
+    const auto fs = scan(
+        "src/x.cpp",
+        taint_fixture("std::uint64_t fresh() { return (my_id() << 32) | 1; }\n"
+                      "void f(Pkt& p) { p.uid = fresh(); }\n"));
+    ASSERT_EQ(count_rule(fs, Rule::kPrivacyTaint), 1u);
+    for (const Finding& f : fs)
+        if (f.rule == Rule::kPrivacyTaint)
+            EXPECT_EQ(f.taint_source, "derived:fresh");
+}
+
+TEST(LintPrivacyTaint, SanitizedHelperIsNotADerivedSource) {
+    const auto fs = scan(
+        "src/x.cpp",
+        taint_fixture(
+            "std::uint64_t fresh() { return scramble((my_id() << 32) | 1); }\n"
+            "void f(Pkt& p) { p.uid = fresh(); }\n"));
+    EXPECT_FALSE(has_rule(fs, Rule::kPrivacyTaint));
+}
+
+TEST(LintPrivacyTaint, CrossFileIndexConnectsAnnotationToUse) {
+    // Annotations live in one file, the leak in another: scan_files must
+    // build the symbol index across the whole set.
+    std::vector<FileInput> files;
+    files.push_back({"src/a/ids.hpp",
+                     "// geoanon: source(node-id)\n"
+                     "std::uint64_t my_id();\n"});
+    files.push_back({"src/a/pkt.hpp",
+                     "struct Pkt {\n"
+                     "  // geoanon: sink(wire)\n"
+                     "  std::uint64_t uid{0};\n"
+                     "};\n"});
+    files.push_back({"src/b/leak.cpp",
+                     "void f(Pkt& p) { p.uid = my_id(); }\n"});
+    const auto fs = scan_files(files);
+    ASSERT_EQ(fs.size(), 1u);
+    EXPECT_EQ(fs[0].rule, Rule::kPrivacyTaint);
+    EXPECT_EQ(fs[0].file, "src/b/leak.cpp");
+}
+
+TEST(LintPrivacyTaint, SuppressionApplies) {
+    const auto fs = scan(
+        "src/x.cpp",
+        taint_fixture("void f(Pkt& p) {\n"
+                      "  // geoanon-lint: allow(privacy-taint) -- fixture reason\n"
+                      "  p.uid = my_id();\n"
+                      "}\n"));
+    EXPECT_FALSE(has_rule(fs, Rule::kPrivacyTaint));
+}
+
+// ---------------------------------------------------------------------------
+// Annotation grammar (feeds GL010/GL030; errors surface as GL000)
+// ---------------------------------------------------------------------------
+
+TEST(LintAnnotation, MalformedAnnotationsAreFindings) {
+    // Empty tag.
+    EXPECT_TRUE(has_rule(
+        scan("src/x.cpp", "// geoanon: source()\nint my_id();\n"),
+        Rule::kSuppression));
+    // Unknown verb.
+    EXPECT_TRUE(has_rule(
+        scan("src/x.cpp", "// geoanon: frobnicate(x)\nint my_id();\n"),
+        Rule::kSuppression));
+}
+
+TEST(LintAnnotation, NamespaceProseIsNotAnAnnotation) {
+    // Comments mentioning the geoanon:: namespace must not parse as
+    // annotations.
+    const auto fs = scan(
+        "src/x.cpp", "// geoanon::lint::scan_file drives this pass\nint x;\n");
+    EXPECT_TRUE(fs.empty());
+}
+
+// ---------------------------------------------------------------------------
+// GL020 layer-dag
+// ---------------------------------------------------------------------------
+
+TEST(LintLayerDag, FlagsUpwardInclude) {
+    const auto fs = scan("src/util/helper.cpp",
+                         "#include \"core/agfw.hpp\"\n");
+    ASSERT_EQ(fs.size(), 1u);
+    EXPECT_EQ(fs[0].rule, Rule::kLayerDag);
+    EXPECT_EQ(fs[0].layer_from, "util");
+    EXPECT_EQ(fs[0].layer_to, "core");
+    EXPECT_EQ(fs[0].line, 1u);
+}
+
+TEST(LintLayerDag, FlagsEqualRankSiblingInclude) {
+    const auto fs = scan("src/crypto/engine.cpp",
+                         "#include \"sim/simulator.hpp\"\n");
+    EXPECT_TRUE(has_rule(fs, Rule::kLayerDag));
+}
+
+TEST(LintLayerDag, DownwardSameLayerAndSystemIncludesAreClean) {
+    const auto fs = scan("src/core/agfw.cpp",
+                         "#include <vector>\n"
+                         "#include \"core/agfw.hpp\"\n"
+                         "#include \"crypto/engine.hpp\"\n"
+                         "#include \"util/rng.hpp\"\n");
+    EXPECT_TRUE(fs.empty());
+}
+
+TEST(LintLayerDag, WireSublayerSitsBelowPhyAndMac) {
+    // phy/mac may include the passive wire types (net/packet.hpp etc.)
+    // even though the net *layer* ranks above them.
+    EXPECT_TRUE(scan("src/phy/channel.cpp",
+                     "#include \"net/packet.hpp\"\n"
+                     "#include \"net/codec.hpp\"\n")
+                    .empty());
+    // But the active net layer (node.hpp) stays off-limits from below.
+    EXPECT_TRUE(has_rule(scan("src/phy/channel.cpp",
+                              "#include \"net/node.hpp\"\n"),
+                         Rule::kLayerDag));
+}
+
+TEST(LintLayerDag, OnlySrcPathsAreChecked) {
+    EXPECT_TRUE(scan("tests/test_x.cpp",
+                     "#include \"core/agfw.hpp\"\n"
+                     "#include \"util/rng.hpp\"\n")
+                    .empty());
+}
+
+TEST(LintLayerDag, DotOutputMarksViolatingEdgesRed) {
+    std::vector<FileInput> files;
+    files.push_back({"src/util/bad.cpp", "#include \"core/agfw.hpp\"\n"});
+    files.push_back({"src/core/fine.cpp", "#include \"util/rng.hpp\"\n"});
+    const std::string dot = geoanon::lint::layer_dot(files);
+    EXPECT_NE(dot.find("digraph geoanon_layers"), std::string::npos);
+    EXPECT_NE(dot.find("\"util\" -> \"core\" [label=\"1\", color=red"),
+              std::string::npos);
+    EXPECT_NE(dot.find("\"core\" -> \"util\" [label=\"1\"]"),
+              std::string::npos);
+    // Deterministic: same inputs, same bytes.
+    EXPECT_EQ(dot, geoanon::lint::layer_dot(files));
+}
+
+// ---------------------------------------------------------------------------
+// GL030 hot-alloc
+// ---------------------------------------------------------------------------
+
+TEST(LintHotAlloc, FlagsAllocationsInHotFunctions) {
+    const auto fs = scan("src/x.cpp",
+                         "// geoanon: hot\n"
+                         "void pump() {\n"
+                         "  int* p = new int(3);\n"
+                         "  auto q = std::make_shared<Pkt>();\n"
+                         "  std::function<void()> cb;\n"
+                         "}\n");
+    EXPECT_EQ(count_rule(fs, Rule::kHotAlloc), 3u);
+}
+
+TEST(LintHotAlloc, FlagsUnreservedVectorAndLoopGrowth) {
+    const auto fs = scan("src/x.cpp",
+                         "// geoanon: hot\n"
+                         "void pump() {\n"
+                         "  std::vector<int> scratch;\n"
+                         "  for (int i = 0; i < n; ++i) scratch.push_back(i);\n"
+                         "}\n");
+    EXPECT_EQ(count_rule(fs, Rule::kHotAlloc), 2u);
+}
+
+TEST(LintHotAlloc, ReserveSilencesBothDetectors) {
+    const auto fs = scan("src/x.cpp",
+                         "// geoanon: hot\n"
+                         "void pump() {\n"
+                         "  std::vector<int> scratch;\n"
+                         "  scratch.reserve(n);\n"
+                         "  for (int i = 0; i < n; ++i) scratch.push_back(i);\n"
+                         "}\n");
+    EXPECT_FALSE(has_rule(fs, Rule::kHotAlloc));
+}
+
+TEST(LintHotAlloc, ColdFunctionsAreNotChecked) {
+    const auto fs = scan("src/x.cpp",
+                         "void setup() {\n"
+                         "  int* p = new int(3);\n"
+                         "  std::vector<int> v;\n"
+                         "}\n");
+    EXPECT_FALSE(has_rule(fs, Rule::kHotAlloc));
+}
+
+TEST(LintHotAlloc, AnnotationBindsToQualifiedDefinition) {
+    const auto fs = scan("src/x.cpp",
+                         "// geoanon: hot\n"
+                         "void Channel::start_tx(Radio* r, const Frame& f) {\n"
+                         "  auto c = std::make_unique<int>(1);\n"
+                         "}\n");
+    EXPECT_EQ(count_rule(fs, Rule::kHotAlloc), 1u);
+}
+
+TEST(LintHotAlloc, SuppressionApplies) {
+    const auto fs = scan(
+        "src/x.cpp",
+        "// geoanon: hot\n"
+        "void pump() {\n"
+        "  // geoanon-lint: allow(hot-alloc) -- fixture reason\n"
+        "  auto q = std::make_shared<Pkt>();\n"
+        "}\n");
+    EXPECT_FALSE(has_rule(fs, Rule::kHotAlloc));
+}
+
+// ---------------------------------------------------------------------------
 // Suppressions (GL000 + application)
 // ---------------------------------------------------------------------------
 
@@ -261,13 +549,85 @@ TEST(LintOutput, JsonSchema) {
     const auto fs = scan("src/x.cpp", "float q;\n");
     const std::string json = geoanon::lint::to_json(fs);
     EXPECT_NE(json.find("\"tool\":\"geoanon_lint\""), std::string::npos);
-    EXPECT_NE(json.find("\"version\":1"), std::string::npos);
+    EXPECT_NE(json.find("\"schema_version\":2"), std::string::npos);
+    EXPECT_NE(json.find("\"version\":2"), std::string::npos);
     EXPECT_NE(json.find("\"count\":1"), std::string::npos);
     EXPECT_NE(json.find("\"rule_id\":\"GL006\""), std::string::npos);
     EXPECT_NE(json.find("\"rule\":\"float-accum\""), std::string::npos);
     EXPECT_NE(json.find("\"file\":\"src/x.cpp\""), std::string::npos);
     EXPECT_NE(json.find("\"line\":1"), std::string::npos);
     EXPECT_NE(json.find("\"message\":"), std::string::npos);
+    // A plain determinism finding carries no taint/layer keys.
+    EXPECT_EQ(json.find("\"taint_source\""), std::string::npos);
+    EXPECT_EQ(json.find("\"layer_from\""), std::string::npos);
+}
+
+TEST(LintOutput, JsonCarriesTaintAndLayerFields) {
+    const auto taint = scan(
+        "src/x.cpp",
+        taint_fixture("void f(Pkt& p) { p.uid = my_id(); }\n"));
+    const std::string tj = geoanon::lint::to_json(taint);
+    EXPECT_NE(tj.find("\"taint_source\":\"node-id:my_id\""), std::string::npos);
+    EXPECT_NE(tj.find("\"taint_sink\":\"wire:uid\""), std::string::npos);
+    EXPECT_NE(tj.find("\"taint_source_line\":"), std::string::npos);
+
+    const auto layer =
+        scan("src/util/helper.cpp", "#include \"core/agfw.hpp\"\n");
+    const std::string lj = geoanon::lint::to_json(layer);
+    EXPECT_NE(lj.find("\"layer_from\":\"util\""), std::string::npos);
+    EXPECT_NE(lj.find("\"layer_to\":\"core\""), std::string::npos);
+}
+
+TEST(LintOutput, SelfValidationAcceptsOwnJson) {
+    std::string error;
+    // Empty report.
+    EXPECT_TRUE(geoanon::lint::validate_findings_json(
+        geoanon::lint::to_json({}), &error))
+        << error;
+    // One finding of every new shape.
+    std::vector<FileInput> files;
+    files.push_back({"src/util/helper.cpp", "#include \"core/agfw.hpp\"\n"});
+    files.push_back({"src/x.cpp",
+                     taint_fixture("void f(Pkt& p) { p.uid = my_id(); }\n")});
+    EXPECT_TRUE(geoanon::lint::validate_findings_json(
+        geoanon::lint::to_json(scan_files(files)), &error))
+        << error;
+}
+
+TEST(LintOutput, SelfValidationRejectsSchemaDrift) {
+    std::string error;
+    EXPECT_FALSE(geoanon::lint::validate_findings_json("not json", &error));
+    EXPECT_FALSE(geoanon::lint::validate_findings_json(
+        "{\"tool\":\"geoanon_lint\",\"schema_version\":1,\"version\":1,"
+        "\"count\":0,\"findings\":[]}",
+        &error));
+    EXPECT_NE(error.find("schema_version"), std::string::npos);
+    // count must match findings length.
+    EXPECT_FALSE(geoanon::lint::validate_findings_json(
+        "{\"tool\":\"geoanon_lint\",\"schema_version\":2,\"version\":2,"
+        "\"count\":1,\"findings\":[]}",
+        &error));
+    // Unknown per-finding keys are drift, not decoration.
+    EXPECT_FALSE(geoanon::lint::validate_findings_json(
+        "{\"tool\":\"geoanon_lint\",\"schema_version\":2,\"version\":2,"
+        "\"count\":1,\"findings\":[{\"rule_id\":\"GL006\",\"rule\":"
+        "\"float-accum\",\"file\":\"a\",\"line\":1,\"message\":\"m\","
+        "\"surprise\":true}]}",
+        &error));
+}
+
+TEST(LintOutput, ScanOptionsFilterRules) {
+    std::vector<FileInput> files;
+    files.push_back({"src/util/helper.cpp",
+                     "#include \"core/agfw.hpp\"\n"
+                     "float q;\n"});
+    geoanon::lint::ScanOptions only_layers;
+    only_layers.enabled.insert(Rule::kLayerDag);
+    const auto fs = scan_files(files, only_layers);
+    ASSERT_EQ(fs.size(), 1u);
+    EXPECT_EQ(fs[0].rule, Rule::kLayerDag);
+    // Empty set means every rule.
+    EXPECT_EQ(scan_files(files, geoanon::lint::ScanOptions{}).size(), 2u);
 }
 
 TEST(LintOutput, FindingsAreSortedByFileLineRule) {
@@ -293,6 +653,12 @@ TEST(LintOutput, RuleIdsAreStable) {
     EXPECT_STREQ(rule_id(Rule::kUnorderedIter), "GL004");
     EXPECT_STREQ(rule_id(Rule::kPointerKey), "GL005");
     EXPECT_STREQ(rule_id(Rule::kFloatAccum), "GL006");
+    EXPECT_STREQ(rule_id(Rule::kPrivacyTaint), "GL010");
+    EXPECT_STREQ(rule_id(Rule::kLayerDag), "GL020");
+    EXPECT_STREQ(rule_id(Rule::kHotAlloc), "GL030");
+    EXPECT_STREQ(rule_name(Rule::kPrivacyTaint), "privacy-taint");
+    EXPECT_STREQ(rule_name(Rule::kLayerDag), "layer-dag");
+    EXPECT_STREQ(rule_name(Rule::kHotAlloc), "hot-alloc");
     Rule r;
     ASSERT_TRUE(geoanon::lint::rule_from_name("unordered-iter", r));
     EXPECT_EQ(r, Rule::kUnorderedIter);
@@ -337,5 +703,73 @@ TEST(LintCli, ExitCodes) {
     EXPECT_EQ(run_lint("--root=" + dir.string() + " no_such_file.cpp"), 2);
     EXPECT_EQ(run_lint("--no-such-flag"), 2);
     fs::remove_all(dir);
+}
+
+TEST(LintCli, RulesFlagFiltersAndRejectsUnknownNames) {
+    namespace fs = std::filesystem;
+    const fs::path dir =
+        fs::temp_directory_path() / "geoanon_lint_rules_fixture";
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    {
+        std::ofstream f(dir / "dirty.cpp");
+        f << "float bad;\n";
+    }
+    // The only finding is GL006; narrowing to another rule reports clean.
+    EXPECT_EQ(run_lint("--root=" + dir.string() + " --rules=float-accum dirty.cpp"), 1);
+    EXPECT_EQ(run_lint("--root=" + dir.string() + " --rules=privacy-taint dirty.cpp"), 0);
+    EXPECT_EQ(run_lint("--rules=no-such-rule"), 2);
+    fs::remove_all(dir);
+}
+
+TEST(LintCli, DotFlagWritesLayerGraph) {
+    namespace fs = std::filesystem;
+    const fs::path dir = fs::temp_directory_path() / "geoanon_lint_dot_fixture";
+    fs::remove_all(dir);
+    fs::create_directories(dir / "src" / "util");
+    {
+        std::ofstream f(dir / "src" / "util" / "a.cpp");
+        f << "#include \"util/rng.hpp\"\nint x;\n";
+    }
+    const fs::path dot = dir / "layers.dot";
+    EXPECT_EQ(run_lint("--root=" + dir.string() + " --dot=" + dot.string() + " src"), 0);
+    std::ifstream in(dot);
+    ASSERT_TRUE(in.good());
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    EXPECT_NE(text.find("digraph geoanon_layers"), std::string::npos);
+    fs::remove_all(dir);
+}
+
+TEST(LintCli, CheckFlagValidatesJsonOutput) {
+    namespace fs = std::filesystem;
+    const fs::path dir =
+        fs::temp_directory_path() / "geoanon_lint_check_fixture";
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    {
+        std::ofstream f(dir / "clean.cpp");
+        f << "double ok = 0.0;\n";
+    }
+    EXPECT_EQ(run_lint("--root=" + dir.string() + " --check clean.cpp"), 0);
+    {
+        std::ofstream f(dir / "dirty.cpp");
+        f << "float bad;\n";
+    }
+    // Findings still exit 1 (validation passed; the findings decide).
+    EXPECT_EQ(run_lint("--root=" + dir.string() + " --check dirty.cpp"), 1);
+    fs::remove_all(dir);
+}
+
+TEST(LintCli, CanaryFixturesStillFire) {
+    // The CI canaries: a deliberate GL010 leak and a deliberate GL020 upward
+    // include must keep failing, proving the passes can't silently rot.
+    const std::string repo = std::filesystem::path(GEOANON_LINT_SRC).string();
+    EXPECT_EQ(run_lint("--root=" + repo +
+                       " tools/lint/testdata/gl010_canary.cpp.in"),
+              1);
+    EXPECT_EQ(run_lint("--root=" + repo + "/tools/lint/testdata/layers"
+                       " --rules=layer-dag src"),
+              1);
 }
 #endif  // GEOANON_LINT_BIN

@@ -1,0 +1,179 @@
+// GL020 layer-DAG audit: parse the quoted includes of src/ files and enforce
+// the engine layering documented in DESIGN.md §13. Includes are parsed from
+// the raw content (the code/comment splitter blanks string literals, which
+// would erase the include path), one directive per line, which matches how
+// the codebase formats includes.
+//
+// The layer model is the *empirical* one the code obeys, not the naive
+// directory chain: src/net splits into a "wire" sublayer (types.hpp,
+// packet.hpp, codec.*) that sits below phy/mac — that split is what makes the
+// stack a DAG at all (frames carry packets, so phy/mac need the wire types,
+// while net/node orchestrates mac and phy above them).
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+#include "internal.hpp"
+
+namespace geoanon::lint {
+
+namespace internal {
+
+namespace {
+
+struct LayerInfo {
+    const char* name;
+    int rank;
+};
+
+// Edges must point to a strictly lower rank (or stay inside one layer).
+// Equal-rank siblings (sim/crypto/mobility, fault/analysis) may not include
+// each other: they are independent by design.
+constexpr LayerInfo kLayers[] = {
+    {"util", 0},
+    {"sim", 1},      {"crypto", 1},   {"mobility", 1},
+    {"wire", 2},
+    {"obs", 3},
+    {"phy", 4},
+    {"mac", 5},
+    {"net", 6},
+    {"routing", 7},
+    {"core", 8},
+    {"fault", 9},    {"analysis", 9},
+    {"workload", 10},
+    {"experiment", 11},
+};
+
+int rank_of(const std::string& layer) {
+    for (const LayerInfo& l : kLayers)
+        if (layer == l.name) return l.rank;
+    return -1;
+}
+
+/// The wire sublayer of src/net: the passive packet/frame/codec types.
+bool is_wire(const std::string& src_rel) {
+    return src_rel == "net/types.hpp" || src_rel == "net/packet.hpp" ||
+           src_rel == "net/codec.hpp" || src_rel == "net/codec.cpp";
+}
+
+/// Layer of a src/-relative path ("net/packet.hpp" -> "wire",
+/// "core/agfw.cpp" -> "core"); "" when the top directory is not a layer.
+std::string layer_of(const std::string& src_rel) {
+    if (is_wire(src_rel)) return "wire";
+    const std::size_t slash = src_rel.find('/');
+    if (slash == std::string::npos) return "";
+    const std::string dir = src_rel.substr(0, slash);
+    return rank_of(dir) >= 0 ? dir : "";
+}
+
+struct Include {
+    std::string path;  // the quoted include target
+    std::size_t line;  // 1-based
+};
+
+std::vector<Include> parse_includes(const std::string& content) {
+    std::vector<Include> out;
+    std::size_t pos = 0, line = 1;
+    while (pos <= content.size()) {
+        std::size_t eol = content.find('\n', pos);
+        if (eol == std::string::npos) eol = content.size();
+        std::string l = trim(content.substr(pos, eol - pos));
+        if (!l.empty() && l[0] == '#') {
+            l = trim(l.substr(1));
+            if (l.rfind("include", 0) == 0) {
+                l = trim(l.substr(std::string("include").size()));
+                if (l.size() >= 2 && l.front() == '"') {
+                    const std::size_t close = l.find('"', 1);
+                    if (close != std::string::npos)
+                        out.push_back({l.substr(1, close - 1), line});
+                }
+            }
+        }
+        pos = eol + 1;
+        ++line;
+    }
+    return out;
+}
+
+/// src/-relative path of a scanned file, or "" when the file is outside src/.
+std::string src_rel(const std::string& path) {
+    if (path.rfind("src/", 0) == 0) return path.substr(4);
+    return "";
+}
+
+}  // namespace
+
+void check_layers(const FileInput& in, std::vector<Finding>& out) {
+    const std::string rel = src_rel(in.path);
+    if (rel.empty()) return;
+    const std::string from = layer_of(rel);
+    if (from.empty()) return;
+    const int from_rank = rank_of(from);
+
+    for (const Include& inc : parse_includes(in.content)) {
+        const std::string to = layer_of(inc.path);
+        if (to.empty() || to == from) continue;  // system/self-layer include
+        const int to_rank = rank_of(to);
+        if (to_rank < from_rank) continue;
+        Finding f;
+        f.rule = Rule::kLayerDag;
+        f.file = in.path;
+        f.line = inc.line;
+        f.layer_from = from;
+        f.layer_to = to;
+        f.message = "#include \"" + inc.path + "\" climbs the layer DAG: " +
+                    from + " (rank " + std::to_string(from_rank) +
+                    ") may only include layers below it, but " + to +
+                    " has rank " + std::to_string(to_rank) +
+                    (to_rank == from_rank
+                         ? " (equal-rank siblings are independent by design)"
+                         : "") +
+                    "; see DESIGN.md \xc2\xa7" "13";
+        out.push_back(std::move(f));
+    }
+}
+
+}  // namespace internal
+
+std::string layer_dot(const std::vector<FileInput>& files) {
+    using internal::parse_includes;
+    // Aggregate layer-level edges with file-level include counts.
+    std::map<std::pair<std::string, std::string>, std::size_t> edges;
+    std::set<std::string> present;
+    for (const FileInput& f : files) {
+        const std::string rel = internal::src_rel(f.path);
+        if (rel.empty()) continue;
+        const std::string from = internal::layer_of(rel);
+        if (from.empty()) continue;
+        present.insert(from);
+        for (const internal::Include& inc : parse_includes(f.content)) {
+            const std::string to = internal::layer_of(inc.path);
+            if (to.empty()) continue;
+            present.insert(to);
+            if (to != from) ++edges[{from, to}];
+        }
+    }
+
+    std::string dot;
+    dot += "// geoanon_lint --dot: layer-level include graph of src/.\n";
+    dot += "// Edges must point to strictly lower ranks; red edges violate\n";
+    dot += "// the DAG (GL020). Ranks are the DESIGN.md \xc2\xa7" "13 table.\n";
+    dot += "digraph geoanon_layers {\n";
+    dot += "  rankdir=BT;\n";
+    dot += "  node [shape=box, fontname=\"Helvetica\"];\n";
+    for (const std::string& l : present) {
+        dot += "  \"" + l + "\" [label=\"" + l + "\\nrank " +
+               std::to_string(internal::rank_of(l)) + "\"];\n";
+    }
+    for (const auto& [edge, count] : edges) {
+        const bool bad = internal::rank_of(edge.second) >= internal::rank_of(edge.first);
+        dot += "  \"" + edge.first + "\" -> \"" + edge.second + "\" [label=\"" +
+               std::to_string(count) + "\"" +
+               (bad ? ", color=red, penwidth=2.0" : "") + "];\n";
+    }
+    dot += "}\n";
+    return dot;
+}
+
+}  // namespace geoanon::lint

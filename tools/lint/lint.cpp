@@ -5,6 +5,7 @@
 #include <map>
 #include <tuple>
 
+#include "internal.hpp"
 #include "util/json.hpp"
 
 namespace geoanon::lint {
@@ -37,6 +38,12 @@ constexpr RuleInfo kRuleInfo[] = {
      "pointer-keyed ordered container"},
     {Rule::kFloatAccum, "GL006", "float-accum",
      "float arithmetic/state in simulation or stats path"},
+    {Rule::kPrivacyTaint, "GL010", "privacy-taint",
+     "identity/position source reaches a wire or export sink unsanitized"},
+    {Rule::kLayerDag, "GL020", "layer-dag",
+     "include edge climbs the documented layer DAG"},
+    {Rule::kHotAlloc, "GL030", "hot-alloc",
+     "heap allocation inside a `geoanon: hot` per-event path"},
 };
 
 const RuleInfo& info(Rule r) {
@@ -45,17 +52,16 @@ const RuleInfo& info(Rule r) {
     return kRuleInfo[0];
 }
 
+}  // namespace
+
+namespace internal {
+
 // ---------------------------------------------------------------------------
 // Source splitting: per line, the code text (comments and literal contents
 // blanked out) and the comment text (for suppression directives). Handles
 // line/block comments, string and char literals with escapes, and raw
 // strings R"delim(...)delim".
 // ---------------------------------------------------------------------------
-
-struct SourceLine {
-    std::string code;
-    std::string comment;
-};
 
 std::vector<SourceLine> split_source(const std::string& src) {
     std::vector<SourceLine> lines(1);
@@ -167,12 +173,6 @@ std::vector<SourceLine> split_source(const std::string& src) {
 // Tokenizer over the blanked code text.
 // ---------------------------------------------------------------------------
 
-struct Token {
-    std::string text;
-    std::size_t line{0};  // 1-based
-    bool is_ident{false};
-};
-
 std::vector<Token> tokenize(const std::vector<SourceLine>& lines) {
     std::vector<Token> toks;
     for (std::size_t ln = 0; ln < lines.size(); ++ln) {
@@ -208,6 +208,34 @@ std::vector<Token> tokenize(const std::vector<SourceLine>& lines) {
     return toks;
 }
 
+std::string trim(const std::string& s) {
+    std::size_t b = 0, e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+    return s.substr(b, e - b);
+}
+
+std::size_t match_bracket(const std::vector<Token>& toks, std::size_t open,
+                          const char* opener, const char* closer) {
+    int depth = 0;
+    for (std::size_t i = open; i < toks.size(); ++i) {
+        if (toks[i].text == opener) ++depth;
+        else if (toks[i].text == closer && --depth == 0) return i;
+    }
+    return toks.size();
+}
+
+std::size_t match_angle(const std::vector<Token>& toks, std::size_t open) {
+    int depth = 0;
+    for (std::size_t i = open; i < toks.size(); ++i) {
+        const std::string& t = toks[i].text;
+        if (t == "<") ++depth;
+        else if (t == ">" && --depth == 0) return i;
+        else if (t == ";" && depth == 1) return toks.size();
+    }
+    return toks.size();
+}
+
 // ---------------------------------------------------------------------------
 // Suppression directives — "allow" covers its own line and the next one,
 // "begin-allow"/"end-allow" bracket a region. Examples (using real rule
@@ -220,32 +248,17 @@ std::vector<Token> tokenize(const std::vector<SourceLine>& lines) {
 // GL000 finding: every suppression must say why.
 // ---------------------------------------------------------------------------
 
-struct Suppressions {
-    // line -> rules allowed on that line and the next one
-    std::map<std::size_t, std::set<Rule>> line_allow;
-    // rule -> list of [begin, end] line ranges
-    std::map<Rule, std::vector<std::pair<std::size_t, std::size_t>>> blocks;
-    std::vector<Finding> errors;
-
-    bool allowed(Rule r, std::size_t line) const {
-        for (std::size_t l : {line, line > 0 ? line - 1 : 0}) {
-            const auto it = line_allow.find(l);
-            if (it != line_allow.end() && it->second.count(r)) return true;
-        }
-        const auto bit = blocks.find(r);
-        if (bit != blocks.end()) {
-            for (const auto& [b, e] : bit->second)
-                if (line >= b && line <= e) return true;
-        }
-        return false;
+bool Suppressions::allowed(Rule r, std::size_t line) const {
+    for (std::size_t l : {line, line > 0 ? line - 1 : 0}) {
+        const auto it = line_allow.find(l);
+        if (it != line_allow.end() && it->second.count(r)) return true;
     }
-};
-
-std::string trim(const std::string& s) {
-    std::size_t b = 0, e = s.size();
-    while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
-    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
-    return s.substr(b, e - b);
+    const auto bit = blocks.find(r);
+    if (bit != blocks.end()) {
+        for (const auto& [b, e] : bit->second)
+            if (line >= b && line <= e) return true;
+    }
+    return false;
 }
 
 Suppressions parse_suppressions(const std::string& path,
@@ -345,8 +358,20 @@ Suppressions parse_suppressions(const std::string& path,
     return sup;
 }
 
+}  // namespace internal
+
+using internal::SourceLine;
+using internal::Suppressions;
+using internal::Token;
+using internal::match_angle;
+using internal::match_bracket;
+using internal::split_source;
+using internal::tokenize;
+
+namespace {
+
 // ---------------------------------------------------------------------------
-// Rules over the token stream
+// Token-level rules (GL001–GL006)
 // ---------------------------------------------------------------------------
 
 bool contains(const std::string& haystack, const char* needle) {
@@ -375,33 +400,6 @@ bool is_any(const Token& t, const auto& list) {
     for (const char* w : list)
         if (t.text == w) return true;
     return false;
-}
-
-/// Index of the token closing the bracket opened at `open` (toks[open] must
-/// be the opener). Returns toks.size() when unbalanced.
-std::size_t match_bracket(const std::vector<Token>& toks, std::size_t open,
-                          const char* opener, const char* closer) {
-    int depth = 0;
-    for (std::size_t i = open; i < toks.size(); ++i) {
-        if (toks[i].text == opener) ++depth;
-        else if (toks[i].text == closer && --depth == 0) return i;
-    }
-    return toks.size();
-}
-
-/// Matches the `>` closing a template argument list opened at toks[open]
-/// == "<". Tracks nested <>, and bails out of comparison-operator lookalikes
-/// by bounding at ";" at depth 1 (no template argument list contains a
-/// top-level semicolon).
-std::size_t match_angle(const std::vector<Token>& toks, std::size_t open) {
-    int depth = 0;
-    for (std::size_t i = open; i < toks.size(); ++i) {
-        const std::string& t = toks[i].text;
-        if (t == "<") ++depth;
-        else if (t == ">" && --depth == 0) return i;
-        else if (t == ";" && depth == 1) return toks.size();
-    }
-    return toks.size();
 }
 
 void check_wallclock(const std::string& path, const std::vector<Token>& toks,
@@ -563,6 +561,64 @@ void check_unordered_iter(const std::string& path, const std::vector<Token>& tok
     }
 }
 
+/// Shared per-file scan against a caller-provided taint index. Runs every
+/// pass, applies suppressions, and appends GL000 annotation/suppression
+/// errors.
+std::vector<Finding> scan_file_indexed(const FileInput& in,
+                                       const std::set<std::string>& extra_unordered,
+                                       const internal::TaintIndex& idx) {
+    const std::vector<SourceLine> lines = split_source(in.content);
+    const std::vector<Token> toks = tokenize(lines);
+    const Suppressions sup = internal::parse_suppressions(in.path, lines);
+
+    std::set<std::string> unordered = extra_unordered;
+    collect_unordered_decls(toks, unordered);
+
+    std::vector<Finding> annotation_errors;
+    const std::vector<internal::Annotation> anns =
+        internal::parse_annotations(in.path, lines, toks, annotation_errors);
+
+    std::vector<Finding> raw;
+    check_wallclock(in.path, toks, raw);
+    check_ambient_rng(in.path, toks, raw);
+    check_unseeded_engine(in.path, toks, raw);
+    check_unordered_iter(in.path, toks, unordered, raw);
+    check_pointer_key(in.path, toks, raw);
+    check_float(in.path, toks, raw);
+    internal::check_taint(in.path, toks, idx, raw);
+    internal::check_hotpath(in.path, toks, anns, raw);
+    internal::check_layers(in, raw);
+
+    std::vector<Finding> out;
+    for (Finding& f : raw)
+        if (!sup.allowed(f.rule, f.line)) out.push_back(std::move(f));
+    out.insert(out.end(), sup.errors.begin(), sup.errors.end());
+    out.insert(out.end(), annotation_errors.begin(), annotation_errors.end());
+    return out;
+}
+
+/// Build the cross-file GL010 index: explicit annotations first, then the
+/// derived-source fixpoint (a function whose return value is tainted becomes
+/// a source itself; bounded iterations keep pathological cycles cheap).
+internal::TaintIndex build_index(
+    const std::vector<std::pair<const FileInput*, std::vector<Token>>>& tokenized) {
+    internal::TaintIndex idx;
+    std::vector<Finding> sink_errors;  // reported by the per-file scan instead
+    for (const auto& [file, toks] : tokenized) {
+        const std::vector<SourceLine> lines = split_source(file->content);
+        const auto anns =
+            internal::parse_annotations(file->path, lines, toks, sink_errors);
+        internal::index_annotations(anns, idx);
+    }
+    for (int round = 0; round < 3; ++round) {
+        bool grew = false;
+        for (const auto& [file, toks] : tokenized)
+            grew = internal::add_derived_sources(toks, idx) || grew;
+        if (!grew) break;
+    }
+    return idx;
+}
+
 }  // namespace
 
 const char* rule_id(Rule r) { return info(r).id; }
@@ -587,34 +643,34 @@ std::set<std::string> unordered_decls(const std::string& content) {
 
 std::vector<Finding> scan_file(const FileInput& in,
                                const std::set<std::string>& extra_unordered) {
+    // Single-file entry point: the taint index sees this file alone, so
+    // annotation fixtures stay self-contained (tests rely on this).
     const std::vector<SourceLine> lines = split_source(in.content);
-    const std::vector<Token> toks = tokenize(lines);
-    const Suppressions sup = parse_suppressions(in.path, lines);
-
-    std::set<std::string> unordered = extra_unordered;
-    collect_unordered_decls(toks, unordered);
-
-    std::vector<Finding> raw;
-    check_wallclock(in.path, toks, raw);
-    check_ambient_rng(in.path, toks, raw);
-    check_unseeded_engine(in.path, toks, raw);
-    check_unordered_iter(in.path, toks, unordered, raw);
-    check_pointer_key(in.path, toks, raw);
-    check_float(in.path, toks, raw);
-
-    std::vector<Finding> out;
-    for (Finding& f : raw)
-        if (!sup.allowed(f.rule, f.line)) out.push_back(std::move(f));
-    out.insert(out.end(), sup.errors.begin(), sup.errors.end());
-    return out;
+    std::vector<Token> toks = tokenize(lines);
+    std::vector<std::pair<const FileInput*, std::vector<Token>>> tokenized;
+    tokenized.emplace_back(&in, std::move(toks));
+    const internal::TaintIndex idx = build_index(tokenized);
+    return scan_file_indexed(in, extra_unordered, idx);
 }
 
 std::vector<Finding> scan_files(const std::vector<FileInput>& files) {
+    return scan_files(files, ScanOptions{});
+}
+
+std::vector<Finding> scan_files(const std::vector<FileInput>& files,
+                                const ScanOptions& opts) {
     // Sibling-header resolution: for dir/foo.cpp, names declared unordered in
     // dir/foo.hpp (or .h) are hazards in foo.cpp too — members declared in
     // the class header are iterated in the implementation file.
     std::map<std::string, const FileInput*> by_path;
     for (const FileInput& f : files) by_path[f.path] = &f;
+
+    // Tokenize once; the GL010 index and the per-file passes share the work.
+    std::vector<std::pair<const FileInput*, std::vector<Token>>> tokenized;
+    tokenized.reserve(files.size());
+    for (const FileInput& f : files)
+        tokenized.emplace_back(&f, tokenize(split_source(f.content)));
+    const internal::TaintIndex idx = build_index(tokenized);
 
     std::vector<Finding> all;
     for (const FileInput& f : files) {
@@ -630,13 +686,19 @@ std::vector<Finding> scan_files(const std::vector<FileInput>& files) {
                 }
             }
         }
-        std::vector<Finding> fs = scan_file(f, extra);
+        std::vector<Finding> fs = scan_file_indexed(f, extra, idx);
         all.insert(all.end(), fs.begin(), fs.end());
     }
     std::sort(all.begin(), all.end(), [](const Finding& a, const Finding& b) {
         return std::tie(a.file, a.line, a.rule, a.message) <
                std::tie(b.file, b.line, b.rule, b.message);
     });
+    if (!opts.enabled.empty()) {
+        std::vector<Finding> kept;
+        for (Finding& f : all)
+            if (opts.rule_enabled(f.rule)) kept.push_back(std::move(f));
+        all = std::move(kept);
+    }
     return all;
 }
 
@@ -654,7 +716,8 @@ std::string to_json(const std::vector<Finding>& findings) {
     util::JsonWriter w;
     w.begin_object();
     w.key("tool").value("geoanon_lint");
-    w.key("version").value(std::uint64_t{1});
+    w.key("schema_version").value(kJsonSchemaVersion);
+    w.key("version").value(kJsonSchemaVersion);
     w.key("count").value(static_cast<std::uint64_t>(findings.size()));
     w.key("findings").begin_array();
     for (const Finding& f : findings) {
@@ -664,6 +727,16 @@ std::string to_json(const std::vector<Finding>& findings) {
         w.key("file").value(f.file);
         w.key("line").value(static_cast<std::uint64_t>(f.line));
         w.key("message").value(f.message);
+        if (!f.taint_source.empty()) {
+            w.key("taint_source").value(f.taint_source);
+            w.key("taint_source_line")
+                .value(static_cast<std::uint64_t>(f.taint_source_line));
+            w.key("taint_sink").value(f.taint_sink);
+        }
+        if (!f.layer_from.empty()) {
+            w.key("layer_from").value(f.layer_from);
+            w.key("layer_to").value(f.layer_to);
+        }
         w.end_object();
     }
     w.end_array();

@@ -1,14 +1,22 @@
-// geoanon_lint — project-specific determinism & concurrency lint.
+// geoanon_lint — project-specific determinism, privacy, and layering lint.
 //
 // Usage:
-//   geoanon_lint [--json] [--root=DIR] [path...]
+//   geoanon_lint [--json] [--check] [--rules=a,b,...] [--dot=FILE]
+//                [--root=DIR] [path...]
 //
-// Paths (files or directories, default: src bench tools) are resolved
+// Paths (files or directories, default: src tests bench tools) are resolved
 // relative to --root (default: cwd). Directories are walked recursively for
 // .cpp/.hpp/.h sources. Exit 0 = clean, 1 = findings, 2 = usage/IO error.
 //
+// --rules=  comma-separated rule names (e.g. privacy-taint,layer-dag) limits
+//           the report to those rules; default is all rules.
+// --dot=F   additionally write the GL020 layer-level include graph of the
+//           scanned src/ files to F as Graphviz DOT.
+// --check   after emitting --json output, re-parse it and validate the
+//           schema; exit 2 with a diagnostic on mismatch. Implies --json.
+//
 // The rules, their IDs, and the suppression syntax are documented in
-// DESIGN.md §12.
+// DESIGN.md §12 (determinism) and §13 (taint / layers / hot paths).
 
 #include <algorithm>
 #include <cstdio>
@@ -46,21 +54,60 @@ bool load(const fs::path& root, const fs::path& file, std::vector<FileInput>& ou
     return true;
 }
 
+bool parse_rules(const std::string& spec, geoanon::lint::ScanOptions& opts) {
+    std::size_t pos = 0;
+    while (pos <= spec.size()) {
+        std::size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos) comma = spec.size();
+        const std::string name = spec.substr(pos, comma - pos);
+        if (!name.empty()) {
+            geoanon::lint::Rule r;
+            if (!geoanon::lint::rule_from_name(name, r)) {
+                std::fprintf(stderr, "geoanon_lint: unknown rule '%s'\n",
+                             name.c_str());
+                return false;
+            }
+            opts.enabled.insert(r);
+        }
+        pos = comma + 1;
+    }
+    if (opts.enabled.empty()) {
+        std::fprintf(stderr, "geoanon_lint: --rules= names no rules\n");
+        return false;
+    }
+    return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
     bool json = false;
+    bool check = false;
     fs::path root = fs::current_path();
+    std::string dot_file;
+    geoanon::lint::ScanOptions opts;
     std::vector<std::string> paths;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--json") {
             json = true;
+        } else if (arg == "--check") {
+            check = json = true;
         } else if (arg.rfind("--root=", 0) == 0) {
             root = arg.substr(7);
+        } else if (arg.rfind("--rules=", 0) == 0) {
+            if (!parse_rules(arg.substr(8), opts)) return 2;
+        } else if (arg.rfind("--dot=", 0) == 0) {
+            dot_file = arg.substr(6);
+            if (dot_file.empty()) {
+                std::fprintf(stderr, "geoanon_lint: --dot= needs a file\n");
+                return 2;
+            }
         } else if (arg == "--help" || arg == "-h") {
-            std::printf("usage: geoanon_lint [--json] [--root=DIR] [path...]\n");
+            std::printf(
+                "usage: geoanon_lint [--json] [--check] [--rules=a,b,...]\n"
+                "                    [--dot=FILE] [--root=DIR] [path...]\n");
             return 0;
         } else if (arg.rfind("--", 0) == 0) {
             std::fprintf(stderr, "geoanon_lint: unknown option %s\n", arg.c_str());
@@ -69,7 +116,7 @@ int main(int argc, char** argv) {
             paths.push_back(arg);
         }
     }
-    if (paths.empty()) paths = {"src", "bench", "tools"};
+    if (paths.empty()) paths = {"src", "tests", "bench", "tools"};
 
     std::vector<FileInput> files;
     for (const std::string& p : paths) {
@@ -93,10 +140,28 @@ int main(int argc, char** argv) {
         }
     }
 
+    if (!dot_file.empty()) {
+        std::ofstream out(dot_file, std::ios::binary);
+        if (!out) {
+            std::fprintf(stderr, "geoanon_lint: cannot write %s\n",
+                         dot_file.c_str());
+            return 2;
+        }
+        out << geoanon::lint::layer_dot(files);
+    }
+
     const std::vector<geoanon::lint::Finding> findings =
-        geoanon::lint::scan_files(files);
+        geoanon::lint::scan_files(files, opts);
     const std::string out = json ? geoanon::lint::to_json(findings)
                                  : geoanon::lint::to_text(findings);
+    if (check) {
+        std::string err;
+        if (!geoanon::lint::validate_findings_json(out, &err)) {
+            std::fprintf(stderr, "geoanon_lint: --check failed: %s\n",
+                         err.c_str());
+            return 2;
+        }
+    }
     std::fputs(out.c_str(), stdout);
     if (json) std::fputc('\n', stdout);
     return findings.empty() ? 0 : 1;

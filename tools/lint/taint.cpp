@@ -1,0 +1,538 @@
+// GL010 privacy-taint: intra-procedural source/sanitizer/sink dataflow over
+// the token stream, plus the `// geoanon:` annotation grammar and the
+// function-body discovery shared with the GL030 hot-path pass.
+//
+// The analysis is deliberately name-based (no types, no overload resolution):
+// an annotated symbol name carries its role everywhere it appears. That is
+// the right trade for a dependency-free token-level tool — the cost is
+// occasional over-tainting, which only matters when it reaches a sink, where
+// a reasoned suppression documents the exception. DESIGN.md §13 spells out
+// the model.
+
+#include <algorithm>
+
+#include "internal.hpp"
+
+namespace geoanon::lint::internal {
+
+namespace {
+
+bool is_keyword(const std::string& t) {
+    for (const char* k : {"if", "for", "while", "switch", "return", "do", "else",
+                          "try", "catch", "case", "sizeof", "new", "delete",
+                          "throw", "co_return", "co_await"})
+        if (t == k) return true;
+    return false;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Annotation parsing
+// ---------------------------------------------------------------------------
+
+std::vector<Annotation> parse_annotations(const std::string& path,
+                                          const std::vector<SourceLine>& lines,
+                                          const std::vector<Token>& toks,
+                                          std::vector<Finding>& errors) {
+    std::vector<Annotation> anns;
+    for (std::size_t ln = 0; ln < lines.size(); ++ln) {
+        const std::string c = trim(lines[ln].comment);
+        if (c.rfind("geoanon:", 0) != 0) continue;
+        std::string rest = trim(c.substr(std::string("geoanon:").size()));
+        // "geoanon::" in prose (a namespace mention) is not an annotation.
+        if (!rest.empty() && rest[0] == ':') continue;
+        const std::size_t line = ln + 1;
+        auto bad = [&](const std::string& why) {
+            errors.push_back(
+                {Rule::kSuppression, path, line, "bad geoanon annotation: " + why});
+        };
+
+        Annotation a;
+        a.line = line;
+        if (rest == "hot") {
+            a.role = Role::kHot;
+        } else {
+            Role role;
+            std::string verb;
+            if (rest.rfind("source", 0) == 0) { role = Role::kSource; verb = "source"; }
+            else if (rest.rfind("sanitizer", 0) == 0) { role = Role::kSanitizer; verb = "sanitizer"; }
+            else if (rest.rfind("sink", 0) == 0) { role = Role::kSink; verb = "sink"; }
+            else {
+                bad("expected source(<tag>), sanitizer(<tag>), sink(<tag>), or hot");
+                continue;
+            }
+            rest = trim(rest.substr(verb.size()));
+            if (rest.size() < 2 || rest.front() != '(') {
+                bad(verb + " needs a (<tag>)");
+                continue;
+            }
+            const std::size_t close = rest.find(')');
+            if (close == std::string::npos) {
+                bad("unterminated tag");
+                continue;
+            }
+            a.role = role;
+            a.tag = trim(rest.substr(1, close - 1));
+            if (a.tag.empty()) {
+                bad(verb + " tag must be nonempty");
+                continue;
+            }
+        }
+
+        // Bind to the declaration starting at this line (trailing-comment
+        // form) or the nearest following code. The declared name is the
+        // identifier before the first '(' outside template brackets
+        // (function), or the last identifier before '=' / ';' / '{' (field).
+        std::size_t t0 = 0;
+        while (t0 < toks.size() && toks[t0].line < line) ++t0;
+        int angle = 0;
+        std::size_t first_paren = toks.size(), stop = toks.size();
+        for (std::size_t i = t0; i < toks.size() && i < t0 + 160; ++i) {
+            const std::string& t = toks[i].text;
+            if (t == "<") ++angle;
+            else if (t == ">") angle = std::max(0, angle - 1);
+            else if (angle == 0 && t == "(" && first_paren == toks.size()) first_paren = i;
+            else if (angle == 0 && (t == ";" || t == "{" || t == "=")) {
+                stop = i;
+                break;
+            }
+        }
+        const bool is_fn = first_paren < stop;
+        std::size_t name_tok = toks.size();
+        if (is_fn) {
+            if (first_paren > t0 && toks[first_paren - 1].is_ident &&
+                !is_keyword(toks[first_paren - 1].text))
+                name_tok = first_paren - 1;
+        } else {
+            for (std::size_t i = t0; i < stop && i < toks.size(); ++i)
+                if (toks[i].is_ident && !is_keyword(toks[i].text)) name_tok = i;
+        }
+        if (name_tok == toks.size()) {
+            bad("annotation does not bind to a declaration");
+            continue;
+        }
+        a.symbol = toks[name_tok].text;
+        a.is_function = is_fn;
+        anns.push_back(std::move(a));
+    }
+    return anns;
+}
+
+void index_annotations(const std::vector<Annotation>& anns, TaintIndex& idx) {
+    for (const Annotation& a : anns) {
+        switch (a.role) {
+            case Role::kSource:
+                (a.is_function ? idx.source_fns : idx.source_fields)
+                    .emplace(a.symbol, a);
+                break;
+            case Role::kSanitizer:
+                idx.sanitizers.insert(a.symbol);
+                break;
+            case Role::kSink:
+                (a.is_function ? idx.sink_fns : idx.sink_fields).emplace(a.symbol, a);
+                break;
+            case Role::kHot:
+                break;  // consumed by check_hotpath
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Function discovery
+// ---------------------------------------------------------------------------
+
+std::vector<FunctionBody> find_functions(const std::vector<Token>& toks) {
+    std::vector<FunctionBody> fns;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        if (toks[i].text != "(") continue;
+        if (i == 0 || !toks[i - 1].is_ident || is_keyword(toks[i - 1].text)) continue;
+        const std::size_t close = match_bracket(toks, i, "(", ")");
+        if (close >= toks.size()) continue;
+        // After the parameter list: qualifiers, a trailing return type, or a
+        // constructor initializer list may precede the body brace.
+        std::size_t j = close + 1;
+        bool body = false;
+        for (std::size_t steps = 0; j < toks.size() && steps < 64; ++steps) {
+            const std::string& t = toks[j].text;
+            if (t == "{") {
+                body = true;
+                break;
+            }
+            if (t == ";") break;  // declaration only
+            if (t == "const" || t == "noexcept" || t == "override" ||
+                t == "final" || t == "mutable" || t == "-" || t == ">" ||
+                t == "&" || t == "*" || t == "," || t == "<" || toks[j].is_ident) {
+                ++j;
+                continue;
+            }
+            if (t == ":") {  // ctor initializer list (":" but not "::")
+                if (j + 1 < toks.size() && toks[j + 1].text == ":") {
+                    j += 2;
+                    continue;
+                }
+                ++j;
+                // Walk initializers: ident ( ... ) / ident { ... } , ...
+                while (j < toks.size()) {
+                    const std::string& u = toks[j].text;
+                    if (u == "(") { j = match_bracket(toks, j, "(", ")") + 1; continue; }
+                    if (u == "{") {
+                        // Brace init of a member vs the body: a body brace
+                        // follows ')' or '}' of the previous initializer.
+                        if (j > 0 && toks[j - 1].is_ident) {
+                            j = match_bracket(toks, j, "{", "}") + 1;
+                            continue;
+                        }
+                        body = true;
+                        break;
+                    }
+                    if (u == ";") break;
+                    ++j;
+                }
+                break;
+            }
+            break;  // anything else: not a definition
+        }
+        if (!body || j >= toks.size()) continue;
+        const std::size_t body_close = match_bracket(toks, j, "{", "}");
+        if (body_close >= toks.size()) continue;
+        FunctionBody f;
+        f.name = toks[i - 1].text;
+        f.name_tok = i - 1;
+        f.open = j;
+        f.close = body_close;
+        f.line = toks[i - 1].line;
+        fns.push_back(std::move(f));
+        i = j;  // resume inside the body: member functions of classes nest
+    }
+    return fns;
+}
+
+// ---------------------------------------------------------------------------
+// Statement segmentation and the taint engine
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct Stmt {
+    std::size_t b{0}, e{0};  // token range [b, e)
+    bool in_lambda{false};   // any enclosing block is a lambda body
+};
+
+/// Split a function body (open/close are the body braces) into linear
+/// statements. Block braces (control flow, lambda bodies) are boundaries;
+/// initializer braces stay inside their statement. Paren depth is tracked per
+/// block so `;` inside `for (...)` headers or argument lists do not split.
+std::vector<Stmt> split_statements(const std::vector<Token>& toks,
+                                   std::size_t open, std::size_t close) {
+    std::vector<Stmt> stmts;
+    std::vector<bool> lambda_stack;  // one entry per open block
+    int pdepth = 0;
+    std::vector<int> saved_pdepth;
+    std::size_t b = open + 1;
+
+    auto in_lambda = [&] {
+        for (bool l : lambda_stack)
+            if (l) return true;
+        return false;
+    };
+    auto flush = [&](std::size_t e) {
+        if (e > b) stmts.push_back({b, e, in_lambda()});
+        b = e + 1;
+    };
+
+    for (std::size_t i = open + 1; i < close; ++i) {
+        const std::string& t = toks[i].text;
+        if (t == "(" || t == "[") {
+            ++pdepth;
+        } else if (t == ")" || t == "]") {
+            pdepth = std::max(0, pdepth - 1);
+        } else if (t == ";" && pdepth == 0) {
+            flush(i);
+        } else if (t == "{") {
+            const std::string prev = i > 0 ? toks[i - 1].text : "";
+            const bool prev_ident = i > 0 && toks[i - 1].is_ident;
+            const bool block_keyword =
+                prev == "else" || prev == "do" || prev == "try";
+            if (!block_keyword && pdepth == 0 &&
+                (prev_ident || prev == ">" || prev == "," || prev == "(" ||
+                 prev == "=")) {
+                // Initializer brace: keep it inside the current statement.
+                const std::size_t m = match_bracket(toks, i, "{", "}");
+                if (m >= close) break;
+                i = m;
+                continue;
+            }
+            // Block brace. Lambda if the intro traces back to a ']'.
+            bool lambda = prev == "]";
+            if (prev == ")") {
+                // Find the '(' this ')' closes, scanning backwards.
+                int d = 0;
+                for (std::size_t k = i - 1; k > open; --k) {
+                    if (toks[k].text == ")") ++d;
+                    else if (toks[k].text == "(" && --d == 0) {
+                        lambda = k > 0 && toks[k - 1].text == "]";
+                        break;
+                    }
+                }
+            }
+            if (pdepth != 0 && !lambda && !block_keyword && prev != ")") {
+                // Brace inside parens that is not a lambda body: an aggregate
+                // literal argument. Keep it in-statement.
+                const std::size_t m = match_bracket(toks, i, "{", "}");
+                if (m >= close) break;
+                i = m;
+                continue;
+            }
+            flush(i);
+            lambda_stack.push_back(lambda);
+            saved_pdepth.push_back(pdepth);
+            pdepth = 0;
+        } else if (t == "}") {
+            flush(i);
+            if (!lambda_stack.empty()) {
+                lambda_stack.pop_back();
+                pdepth = saved_pdepth.back();
+                saved_pdepth.pop_back();
+            }
+        }
+    }
+    flush(close);
+    return stmts;
+}
+
+/// What taints a name: where the value originally came from.
+struct TaintInfo {
+    std::string source;  // "<tag>:<symbol>"
+    std::size_t line{0};
+};
+
+/// Scan an expression span for taint. Sanitizer call spans are skipped — the
+/// sanctioned transform launders its arguments. Returns the first cause.
+bool expr_tainted(const std::vector<Token>& toks, std::size_t b, std::size_t e,
+                  const TaintIndex& idx,
+                  const std::map<std::string, TaintInfo>& vars, TaintInfo& cause) {
+    for (std::size_t i = b; i < e; ++i) {
+        if (!toks[i].is_ident) continue;
+        const std::string& t = toks[i].text;
+        const bool called = i + 1 < e && toks[i + 1].text == "(";
+        if (idx.sanitizers.count(t) && called) {
+            const std::size_t close = match_bracket(toks, i + 1, "(", ")");
+            if (close >= e) return false;  // rest of expr is inside the call
+            i = close;
+            continue;
+        }
+        if (called) {
+            const auto sf = idx.source_fns.find(t);
+            if (sf != idx.source_fns.end()) {
+                cause = {sf->second.tag + ":" + t, toks[i].line};
+                return true;
+            }
+        }
+        const auto fld = idx.source_fields.find(t);
+        if (fld != idx.source_fields.end()) {
+            cause = {fld->second.tag + ":" + t, toks[i].line};
+            return true;
+        }
+        const auto var = vars.find(t);
+        if (var != vars.end()) {
+            cause = var->second;
+            return true;
+        }
+    }
+    return false;
+}
+
+/// Index of the assignment '=' of a statement at paren depth 0, or `e` when
+/// the statement has none. Comparison and compound-lookalike operators are
+/// excluded (the tokenizer splits '==' into two '=' tokens).
+std::size_t find_assign(const std::vector<Token>& toks, std::size_t b,
+                        std::size_t e) {
+    int depth = 0;
+    for (std::size_t i = b; i < e; ++i) {
+        const std::string& t = toks[i].text;
+        if (t == "(" || t == "[") ++depth;
+        else if (t == ")" || t == "]") depth = std::max(0, depth - 1);
+        else if (t == "=" && depth == 0) {
+            if (i + 1 < e && toks[i + 1].text == "=") { ++i; continue; }  // ==
+            if (i > b) {
+                const std::string& p = toks[i - 1].text;
+                if (p == "=" || p == "<" || p == ">" || p == "!") continue;
+            }
+            return i;
+        }
+    }
+    return e;
+}
+
+const Annotation* sink_field_written(const std::vector<Token>& toks,
+                                     std::size_t lhs_b, std::size_t lhs_e,
+                                     const TaintIndex& idx) {
+    // The written field is the last identifier of the left-hand side.
+    for (std::size_t i = lhs_e; i > lhs_b; --i) {
+        if (toks[i - 1].is_ident) {
+            const auto it = idx.sink_fields.find(toks[i - 1].text);
+            return it != idx.sink_fields.end() ? &it->second : nullptr;
+        }
+    }
+    return nullptr;
+}
+
+void report_leak(const std::string& path, std::size_t line,
+                 const TaintInfo& cause, const std::string& sink_kind,
+                 const Annotation& sink, std::vector<Finding>& out) {
+    Finding f;
+    f.rule = Rule::kPrivacyTaint;
+    f.file = path;
+    f.line = line;
+    f.taint_source = cause.source;
+    f.taint_source_line = cause.line;
+    f.taint_sink = sink.tag + ":" + sink.symbol;
+    f.message = "value derived from source '" + cause.source + "' (line " +
+                std::to_string(cause.line) + ") reaches " + sink_kind + " '" +
+                sink.symbol + "' (sink tag '" + sink.tag +
+                "') without passing a sanitizer";
+    out.push_back(std::move(f));
+}
+
+/// Run the taint engine over one function body. When `out` is null the call
+/// only answers whether a non-lambda `return` expression is tainted (the
+/// derived-source probe).
+bool analyze_function(const std::string& path, const std::vector<Token>& toks,
+                      const FunctionBody& fn, const TaintIndex& idx,
+                      std::vector<Finding>* out) {
+    const std::vector<Stmt> stmts = split_statements(toks, fn.open, fn.close);
+    std::map<std::string, TaintInfo> vars;
+    bool returns_tainted = false;
+
+    for (const Stmt& s : stmts) {
+        const std::size_t eq = find_assign(toks, s.b, s.e);
+        TaintInfo cause;
+
+        if (eq < s.e) {
+            const bool rhs_tainted =
+                expr_tainted(toks, eq + 1, s.e, idx, vars, cause);
+            // Compound assignment (a += b): the old value stays mixed in, so
+            // an untainted RHS does not clear the target.
+            const bool compound =
+                eq > s.b && !toks[eq - 1].is_ident &&
+                std::string("+-*/%&|^").find(toks[eq - 1].text) != std::string::npos;
+            // Written name: last identifier before the '=' (field of a
+            // pointer/member chain, or the declared/assigned variable).
+            std::string target;
+            for (std::size_t i = eq; i > s.b; --i) {
+                if (toks[i - 1].is_ident && !is_keyword(toks[i - 1].text)) {
+                    target = toks[i - 1].text;
+                    break;
+                }
+            }
+            if (rhs_tainted) {
+                if (out) {
+                    if (const Annotation* sink =
+                            sink_field_written(toks, s.b, eq, idx))
+                        report_leak(path, toks[eq].line, cause, "wire field",
+                                    *sink, *out);
+                }
+                if (!target.empty()) vars[target] = cause;
+            } else if (!compound && !target.empty()) {
+                vars.erase(target);  // overwritten with a clean value
+            }
+        } else {
+            // Declaration with brace initializer: `vector<Id> ring{expr}`.
+            std::size_t brace = s.e;
+            int depth = 0;
+            for (std::size_t i = s.b; i < s.e; ++i) {
+                const std::string& t = toks[i].text;
+                if (t == "(" || t == "[") ++depth;
+                else if (t == ")" || t == "]") depth = std::max(0, depth - 1);
+                else if (t == "{" && depth == 0 && i > s.b &&
+                         toks[i - 1].is_ident && !is_keyword(toks[i - 1].text)) {
+                    brace = i;
+                    break;
+                }
+            }
+            if (brace < s.e &&
+                expr_tainted(toks, brace, s.e, idx, vars, cause)) {
+                vars[toks[brace - 1].text] = cause;
+            } else if (toks[s.b].is_ident && toks[s.b].text == "return" &&
+                       !s.in_lambda &&
+                       expr_tainted(toks, s.b + 1, s.e, idx, vars, cause)) {
+                returns_tainted = true;
+            } else if (expr_tainted(toks, s.b, s.e, idx, vars, cause)) {
+                // Statement-level call with tainted input. Receiver-object
+                // tainting: `payload.u64(node_.id())` taints `payload` (an
+                // unannotated builder absorbing sensitive bytes), unless the
+                // statement is a plain free call.
+                if (toks[s.b].is_ident && !is_keyword(toks[s.b].text) &&
+                    s.b + 1 < s.e &&
+                    (toks[s.b + 1].text == "." || toks[s.b + 1].text == "-")) {
+                    vars.emplace(toks[s.b].text, cause);
+                }
+            }
+        }
+
+        if (!out) continue;
+
+        // Sink calls anywhere in the statement: annotated sink functions with
+        // tainted arguments, and container writes into sink fields
+        // (push_back / emplace_back / insert / assign).
+        for (std::size_t i = s.b; i < s.e; ++i) {
+            if (!toks[i].is_ident) continue;
+            const std::string& t = toks[i].text;
+            if (i + 1 >= s.e || toks[i + 1].text != "(") continue;
+            const std::size_t close = match_bracket(toks, i + 1, "(", ")");
+            if (close > s.e) continue;
+            TaintInfo arg_cause;
+            const auto sf = idx.sink_fns.find(t);
+            if (sf != idx.sink_fns.end() &&
+                expr_tainted(toks, i + 2, close, idx, vars, arg_cause)) {
+                report_leak(path, toks[i].line, arg_cause, "sink call",
+                            sf->second, *out);
+            }
+            if ((t == "push_back" || t == "emplace_back" || t == "insert" ||
+                 t == "assign") &&
+                i >= s.b + 2 && toks[i - 1].text == "." &&
+                toks[i - 2].is_ident) {
+                const auto fld = idx.sink_fields.find(toks[i - 2].text);
+                if (fld != idx.sink_fields.end() &&
+                    expr_tainted(toks, i + 2, close, idx, vars, arg_cause)) {
+                    report_leak(path, toks[i].line, arg_cause, "wire field",
+                                fld->second, *out);
+                }
+            }
+            i = close;
+        }
+    }
+    return returns_tainted;
+}
+
+}  // namespace
+
+void check_taint(const std::string& path, const std::vector<Token>& toks,
+                 const TaintIndex& idx, std::vector<Finding>& out) {
+    if (idx.source_fns.empty() && idx.source_fields.empty()) return;
+    for (const FunctionBody& fn : find_functions(toks))
+        analyze_function(path, toks, fn, idx, &out);
+}
+
+bool add_derived_sources(const std::vector<Token>& toks, TaintIndex& idx) {
+    if (idx.source_fns.empty() && idx.source_fields.empty()) return false;
+    bool grew = false;
+    for (const FunctionBody& fn : find_functions(toks)) {
+        if (idx.source_fns.count(fn.name) || idx.sanitizers.count(fn.name))
+            continue;
+        if (analyze_function("", toks, fn, idx, nullptr)) {
+            Annotation a;
+            a.role = Role::kSource;
+            a.tag = "derived";
+            a.symbol = fn.name;
+            a.is_function = true;
+            a.line = fn.line;
+            idx.source_fns.emplace(fn.name, std::move(a));
+            grew = true;
+        }
+    }
+    return grew;
+}
+
+}  // namespace geoanon::lint::internal

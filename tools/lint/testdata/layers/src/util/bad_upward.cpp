@@ -1,0 +1,11 @@
+// GL020 canary: a deliberate upward include the layer-DAG pass MUST flag.
+//
+// CI runs `geoanon_lint --rules=layer-dag --root=tools/lint/testdata/layers
+// src` and asserts exit code 1. GL020 only applies to paths that start with
+// "src/", so under the repo root this file's path
+// (tools/lint/testdata/layers/...) keeps it inert in default scans; scoping
+// --root to this directory makes the path "src/util/bad_upward.cpp" and the
+// violation visible. The real src/ tree is a clean DAG, so this canary is
+// what proves the pass can still fail.
+
+#include "core/agfw.hpp"  // util (rank 0) including core (rank 8): upward edge

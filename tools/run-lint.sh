@@ -1,24 +1,39 @@
 #!/usr/bin/env bash
-# Run geoanon_lint (the project's determinism/ordering lint, tools/lint/)
-# over the default tree: src/, bench/, tools/.
+# Run geoanon_lint (the project's determinism/privacy/layering lint,
+# tools/lint/) over the default tree: src/, tests/, bench/, tools/.
 #
 # Usage:
-#   tools/run-lint.sh [build-dir] [-- extra geoanon_lint args]
+#   tools/run-lint.sh [build-dir] [--json] [--check] [--rules=a,b,...]
+#                     [--dot=FILE] [-- extra geoanon_lint args]
 #
 # The build dir defaults to ./build and must contain the geoanon_lint
 # binary (target: geoanon_lint). Builds it on demand when a CMake cache is
-# present. Exits nonzero on any finding; suppress individual findings in
+# present. geoanon_lint flags (--json, --check, --rules=, --dot=) are
+# forwarded wherever they appear; everything after `--` passes through
+# verbatim. Exits nonzero on any finding; suppress individual findings in
 # source with `// geoanon-lint: allow(<rule>) -- <reason>` (see DESIGN.md
-# section 12 for the rule list and suppression grammar).
+# sections 12–13 for the rule list and suppression grammar).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="build"
-if [[ $# -gt 0 && "$1" != "--" ]]; then
-  BUILD_DIR="$1"
+PASS=()
+while [[ $# -gt 0 && "$1" != "--" ]]; do
+  case "$1" in
+    --json|--check|--rules=*|--dot=*)
+      PASS+=("$1")
+      ;;
+    --*)
+      echo "run-lint: unknown option $1" >&2
+      exit 2
+      ;;
+    *)
+      BUILD_DIR="$1"
+      ;;
+  esac
   shift
-fi
+done
 [[ $# -gt 0 && "$1" == "--" ]] && shift
 
 BIN="$BUILD_DIR/tools/geoanon_lint"
@@ -32,4 +47,4 @@ if [[ ! -x "$BIN" ]]; then
   fi
 fi
 
-exec "$BIN" "$@"
+exec "$BIN" ${PASS+"${PASS[@]}"} "$@"
