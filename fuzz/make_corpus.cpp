@@ -148,6 +148,16 @@ void valid_seeds() {
     repl.ls_assist = true;
     emit("valid_als_replicate_assist", encode(repl));
 
+    Packet digest;
+    digest.type = PacketType::kLocDigest;
+    digest.next_hop_pseudonym = 0x0000DEADBEEF01ULL;
+    digest.grid = 12;
+    digest.dst_loc = Vec2{900.0, 150.0};
+    digest.ls_digest = {{0x1122334455667788ULL, 5'000'000'000ULL},
+                        {0x99AABBCCDDEEFF00ULL, 9'500'000'000ULL}};
+    digest.ls_assist = true;  // digests travel one hop, assist-flagged
+    emit("valid_als_digest", encode(digest));
+
     emit("valid_agfw_data_traced", encode(base_agfw_data(), /*include_trace=*/true));
 }
 
@@ -195,6 +205,21 @@ void malformed_seeds() {
         wire[1] = 0x7F;  // claims 32513 uids with 8 bytes present
         wire[2] = 0x01;
         emit("reject_oversized_ack_count", wire);
+    }
+
+    // Digest whose row count claims more rows than the frame carries.
+    {
+        Packet digest;
+        digest.type = PacketType::kLocDigest;
+        digest.next_hop_pseudonym = 0x42;
+        digest.grid = 1;
+        digest.dst_loc = Vec2{100.0, 100.0};
+        digest.ls_digest = {{0xAAULL, 1'000'000'000ULL}};
+        Bytes wire = encode(digest);
+        const std::size_t count_at = wire.size() - 16 - 2;  // one 16-byte row
+        wire[count_at] = 0xFF;
+        wire[count_at + 1] = 0xFF;
+        emit("reject_oversized_digest_count", wire);
     }
 
     // Zero-pseudonym (last-hop) frame with a truncated trapdoor: the

@@ -35,6 +35,7 @@ bool is_ls_type(PacketType t) {
         case PacketType::kLocRequest:
         case PacketType::kLocReply:
         case PacketType::kLocReplicate:
+        case PacketType::kLocDigest:
             return true;
         default:
             return false;
@@ -133,6 +134,7 @@ void InvariantChecker::check_packet(const Packet& pkt) {
         case PacketType::kLocRequest:
         case PacketType::kLocReply:
         case PacketType::kLocReplicate:
+        case PacketType::kLocDigest:
             data_uids_.insert(pkt.uid);
             if (params_.expect_anonymous) check_pseudonym_target(pkt);
             break;

@@ -9,6 +9,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/bytes.hpp"
+#include "util/retry.hpp"
 
 namespace geoanon::core {
 
@@ -485,10 +486,18 @@ void AgfwAgent::arm_ack_timer(std::uint64_t uid) {
     auto it = pending_.find(uid);
     if (it == pending_.end()) return;
     // Optional exponential backoff: premature retransmissions under
-    // contention feed the very collisions that delayed the ACK.
+    // contention feed the very collisions that delayed the ACK. Shares the
+    // util::RetryPolicy schedule with LocationService reissues; doubling
+    // from ack_timeout, capped at 16x, jitter-free (the MAC layer already
+    // decorrelates broadcasts), which is bit-identical to the historical
+    // shift-based schedule.
+    const util::RetryPolicy::Params backoff{.initial = params_.ack_timeout,
+                                            .multiplier = 2.0,
+                                            .cap = params_.ack_timeout * 16,
+                                            .jitter = 0.0};
     const SimTime timeout =
         params_.ack_backoff
-            ? params_.ack_timeout * (1LL << std::min(it->second.attempts, 4))
+            ? util::RetryPolicy::delay(backoff, it->second.attempts + 1, node_.rng())
             : params_.ack_timeout;
     it->second.timer =
         node_.sim().after(timeout, [this, uid] { on_ack_timeout(uid); });
@@ -626,6 +635,7 @@ void AgfwAgent::on_packet(const PacketPtr& pkt, MacAddr /*src*/) {
         case net::PacketType::kLocRequest:
         case net::PacketType::kLocReply:
         case net::PacketType::kLocReplicate:
+        case net::PacketType::kLocDigest:
             break;
         default:
             return;  // GPSR traffic in a mixed network: not ours

@@ -53,6 +53,14 @@ void result_to_json(JsonWriter& w, const workload::ScenarioResult& r, bool inclu
     w.key("query_fallbacks").value(r.ls.query_fallbacks);
     w.key("late_replies").value(r.ls.late_replies);
     w.key("pending_wiped").value(r.ls.pending_wiped);
+    w.key("store_expired").value(r.ls.store_expired);
+    w.key("digests_sent").value(r.ls.digests_sent);
+    w.key("digest_bytes").value(r.ls.digest_bytes);
+    w.key("repairs_sent").value(r.ls.repairs_sent);
+    w.key("handoffs").value(r.ls.handoffs);
+    w.key("read_repairs").value(r.ls.read_repairs);
+    w.key("duplicates_suppressed").value(r.ls.duplicates_suppressed);
+    w.key("stale_reads").value(r.ls.stale_reads);
     w.end_object();
 
     w.key("adversary").begin_object();
@@ -94,10 +102,14 @@ void result_to_json(JsonWriter& w, const workload::ScenarioResult& r, bool inclu
     w.key("frames_lost_node_down").value(r.resilience.frames_lost_node_down);
     w.key("frames_lost_loss_burst").value(r.resilience.frames_lost_loss_burst);
     w.key("frames_lost_jam").value(r.resilience.frames_lost_jam);
+    w.key("frames_lost_partition").value(r.resilience.frames_lost_partition);
+    w.key("server_flap_cycles").value(r.resilience.server_flap_cycles);
     w.key("ls_pending_wiped").value(r.resilience.ls_pending_wiped);
     w.key("recoveries_measured").value(r.resilience.recoveries_measured);
     w.key("recovery_latency_p50_s").value(r.resilience.recovery_latency_p50_s);
     w.key("recovery_latency_p95_s").value(r.resilience.recovery_latency_p95_s);
+    w.key("recovery_outage_p95_s").value(r.resilience.recovery_outage_p95_s);
+    w.key("recovery_flap_p95_s").value(r.resilience.recovery_flap_p95_s);
     w.end_object();
 
     // Full registry snapshot: already name-sorted (std::map), so the block

@@ -24,7 +24,8 @@ FaultInjector::FaultInjector(net::Network& network, FaultPlan plan)
       plan_(std::move(plan)),
       churn_rng_(util::SplitMix64(plan_.seed).next()),
       chan_rng_(util::SplitMix64(plan_.seed ^ 0x6A09E667F3BCC908ULL).next()),
-      down_(network.size(), false) {}
+      down_(network.size(), false),
+      crash_cause_(network.size(), CrashCause::kScheduled) {}
 
 void FaultInjector::arm() {
     auto& sim = network_.sim();
@@ -32,14 +33,32 @@ void FaultInjector::arm() {
         sim.at(c.at, [this, c] { crash_node(c.node, c.duration); });
     for (const auto& o : plan_.als_outages)
         sim.at(o.at, [this, o] { trigger_als_outage(o); });
+    for (const auto& f : plan_.server_flaps) {
+        ++stats_.faults_injected;
+        GEOANON_TRACE(sim, .type = obs::EventType::kFaultFired, .node = f.target,
+                      .detail = static_cast<std::uint64_t>(obs::FaultKind::kServerFlap));
+        // Self-rescheduling cycle driver; owned by flap_drivers_, not by its
+        // own captures (same no-cycle idiom as the recovery watchers).
+        auto drive = std::make_shared<std::function<void()>>();
+        flap_drivers_.push_back(drive);
+        auto* raw = drive.get();
+        *drive = [this, f, raw] {
+            const SimTime now = network_.sim().now();
+            if (f.stop > SimTime{} && now >= f.stop) return;
+            flap_once(f);
+            if (f.period > SimTime{}) network_.sim().after(f.period, *raw);
+        };
+        sim.at(f.start, *raw);
+    }
     if (plan_.churn) schedule_churn_arrival();
     if (plan_.gps_noise) install_gps_noise();
     install_drop_model();
 }
 
-void FaultInjector::crash_node(NodeId node, SimTime duration) {
+void FaultInjector::crash_node(NodeId node, SimTime duration, CrashCause cause) {
     if (node >= network_.size() || down_[node]) return;
     down_[node] = true;
+    crash_cause_[node] = cause;
     ++down_count_;
     ++stats_.node_crashes;
     ++stats_.faults_injected;
@@ -58,10 +77,21 @@ void FaultInjector::recover_node(NodeId node) {
     GEOANON_TRACE(network_.sim(), .type = obs::EventType::kFaultFired, .node = node,
                   .detail = static_cast<std::uint64_t>(obs::FaultKind::kRecover));
     network_.node(node).set_up(true);
-    watch_recovery(node, network_.sim().now());
+    watch_recovery(node, network_.sim().now(), crash_cause_[node]);
 }
 
-void FaultInjector::watch_recovery(NodeId node, SimTime recovered_at) {
+util::Sampler& FaultInjector::recovery_sampler(CrashCause cause) {
+    switch (cause) {
+        case CrashCause::kChurn: return stats_.recovery_churn_s;
+        case CrashCause::kAlsOutage: return stats_.recovery_outage_s;
+        case CrashCause::kServerFlap: return stats_.recovery_flap_s;
+        case CrashCause::kScheduled: break;
+    }
+    return stats_.recovery_crash_s;
+}
+
+void FaultInjector::watch_recovery(NodeId node, SimTime recovered_at,
+                                   CrashCause cause) {
     if (!recovered_probe_) return;
     // Self-rescheduling poll: recovery latency is "recovered → routing state
     // warm again" per the agent probe. Crashing again, or staying cold past
@@ -71,11 +101,12 @@ void FaultInjector::watch_recovery(NodeId node, SimTime recovered_at) {
     auto poll = std::make_shared<std::function<void()>>();
     recovery_watchers_.push_back(poll);
     auto* raw = poll.get();
-    *poll = [this, node, recovered_at, raw] {
+    *poll = [this, node, recovered_at, cause, raw] {
         if (down_[node]) return;
         const SimTime now = network_.sim().now();
         if (recovered_probe_(node)) {
             stats_.recovery_s.add((now - recovered_at).to_seconds());
+            recovery_sampler(cause).add((now - recovered_at).to_seconds());
             return;
         }
         if ((now - recovered_at).to_seconds() >= kRecoveryWatchS) return;
@@ -112,7 +143,7 @@ void FaultInjector::churn_arrival() {
         churn_rng_.uniform_int(0, static_cast<std::int64_t>(up.size()) - 1))];
     const SimTime dur = SimTime::seconds(
         churn_rng_.uniform(c.min_down.to_seconds(), c.max_down.to_seconds()));
-    crash_node(victim, dur);
+    crash_node(victim, dur, CrashCause::kChurn);
 }
 
 void FaultInjector::trigger_als_outage(const FaultPlan::AlsOutage& outage) {
@@ -123,7 +154,7 @@ void FaultInjector::trigger_als_outage(const FaultPlan::AlsOutage& outage) {
         if (down_[id]) continue;
         if (util::distance(network_.node(id).true_position(), center) <=
             outage.radius_m) {
-            crash_node(id, outage.duration);
+            crash_node(id, outage.duration, CrashCause::kAlsOutage);
             any = true;
         }
     }
@@ -133,6 +164,21 @@ void FaultInjector::trigger_als_outage(const FaultPlan::AlsOutage& outage) {
                       .node = outage.target,
                       .detail = static_cast<std::uint64_t>(obs::FaultKind::kAlsOutage));
     }
+}
+
+void FaultInjector::flap_once(const FaultPlan::ServerFlap& flap) {
+    if (!home_center_) return;  // no grid in this scenario; flap is a no-op
+    const Vec2 center = home_center_(flap.target);
+    bool any = false;
+    for (NodeId id = 0; id < static_cast<NodeId>(network_.size()); ++id) {
+        if (down_[id]) continue;
+        if (util::distance(network_.node(id).true_position(), center) <=
+            flap.radius_m) {
+            crash_node(id, flap.down_time, CrashCause::kServerFlap);
+            any = true;
+        }
+    }
+    if (any) ++stats_.server_flap_cycles;
 }
 
 void FaultInjector::install_gps_noise() {
@@ -163,7 +209,8 @@ void FaultInjector::install_gps_noise() {
 }
 
 void FaultInjector::install_drop_model() {
-    if (!plan_.gilbert_elliott && plan_.jams.empty()) return;
+    if (!plan_.gilbert_elliott && plan_.jams.empty() && plan_.partitions.empty())
+        return;
     if (plan_.gilbert_elliott) {
         ++stats_.faults_injected;
         GEOANON_TRACE(network_.sim(), .type = obs::EventType::kFaultFired,
@@ -174,9 +221,14 @@ void FaultInjector::install_drop_model() {
         GEOANON_TRACE(network_.sim(), .type = obs::EventType::kFaultFired,
                       .detail = static_cast<std::uint64_t>(obs::FaultKind::kJam));
     }
+    stats_.faults_injected += plan_.partitions.size();
+    for (std::size_t i = 0; i < plan_.partitions.size(); ++i) {
+        GEOANON_TRACE(network_.sim(), .type = obs::EventType::kFaultFired,
+                      .detail = static_cast<std::uint64_t>(obs::FaultKind::kPartition));
+    }
     network_.channel().set_drop_model(
-        [this](const phy::Frame&, const Vec2&, const Vec2& rx_pos) {
-            return should_drop(rx_pos);
+        [this](const phy::Frame&, const Vec2& tx_pos, const Vec2& rx_pos) {
+            return should_drop(tx_pos, rx_pos);
         });
 }
 
@@ -189,8 +241,22 @@ bool FaultInjector::jam_active(const Vec2& rx_pos, SimTime now) const {
     return false;
 }
 
-bool FaultInjector::should_drop(const Vec2& rx_pos) {
+bool FaultInjector::partition_active(const Vec2& tx_pos, const Vec2& rx_pos,
+                                     SimTime now) const {
+    for (const auto& p : plan_.partitions) {
+        if (now < p.start) continue;
+        if (p.heal > SimTime{} && now >= p.heal) continue;
+        if ((tx_pos.x < p.boundary_x_m) != (rx_pos.x < p.boundary_x_m)) return true;
+    }
+    return false;
+}
+
+bool FaultInjector::should_drop(const Vec2& tx_pos, const Vec2& rx_pos) {
     const SimTime now = network_.sim().now();
+    if (partition_active(tx_pos, rx_pos, now)) {
+        ++stats_.frames_lost_partition;
+        return true;
+    }
     if (jam_active(rx_pos, now)) {
         ++stats_.frames_lost_jam;
         return true;
@@ -215,9 +281,15 @@ void FaultInjector::publish_metrics(obs::MetricsRegistry& reg) const {
     reg.add("fault.node_recoveries", stats_.node_recoveries);
     reg.add("fault.als_outages", stats_.als_outages);
     reg.add("fault.churn_skipped", stats_.churn_skipped);
+    reg.add("fault.server_flap_cycles", stats_.server_flap_cycles);
     reg.add("fault.frames_lost_loss_burst", stats_.frames_lost_loss_burst);
     reg.add("fault.frames_lost_jam", stats_.frames_lost_jam);
+    reg.add("fault.frames_lost_partition", stats_.frames_lost_partition);
     reg.observe_all("fault.recovery_s", stats_.recovery_s);
+    reg.observe_all("fault.recovery_crash_s", stats_.recovery_crash_s);
+    reg.observe_all("fault.recovery_churn_s", stats_.recovery_churn_s);
+    reg.observe_all("fault.recovery_outage_s", stats_.recovery_outage_s);
+    reg.observe_all("fault.recovery_flap_s", stats_.recovery_flap_s);
 }
 
 void FaultInjector::advance_ge_chain(SimTime now) {

@@ -102,9 +102,35 @@ struct FaultPlan {
     };
     std::vector<AlsOutage> als_outages;
 
+    /// Network partition: while active, no frame crosses the vertical line
+    /// x = boundary_x_m (enforced in the channel drop model, like Jam — the
+    /// medium is still occupied, only cross-boundary decodes die). Align the
+    /// boundary with a grid column edge to split home grids cleanly.
+    struct Partition {
+        double boundary_x_m{0.0};
+        SimTime start{};
+        /// Absolute heal time; SimTime{} = the split never heals.
+        SimTime heal{};
+    };
+    std::vector<Partition> partitions;
+
+    /// Server flap: every `period`, crash each currently-up node within
+    /// `radius_m` of `target`'s home-grid center for `down_time` — rapid
+    /// up/down cycling of the replica set, the pathological failover load.
+    struct ServerFlap {
+        NodeId target{net::kInvalidNode};
+        SimTime start{};
+        SimTime stop{};
+        SimTime period{SimTime::seconds(4.0)};
+        SimTime down_time{SimTime::seconds(2.0)};
+        double radius_m{200.0};
+    };
+    std::vector<ServerFlap> server_flaps;
+
     bool empty() const {
         return crashes.empty() && !churn && !gilbert_elliott && jams.empty() &&
-               !gps_noise && als_outages.empty();
+               !gps_noise && als_outages.empty() && partitions.empty() &&
+               server_flaps.empty();
     }
 };
 
@@ -116,15 +142,27 @@ struct FaultPlan {
 /// Construct after the network is fully built, call arm() before sim.run().
 class FaultInjector {
   public:
+    /// Fault class that caused a crash; keys the per-class recovery-latency
+    /// samplers so "how fast does the grid heal after an outage" can be told
+    /// apart from ordinary churn recovery.
+    enum class CrashCause : std::uint8_t { kScheduled, kChurn, kAlsOutage, kServerFlap };
+
     struct Stats {
         std::uint64_t faults_injected{0};   ///< crash events + impairment windows
         std::uint64_t node_crashes{0};
         std::uint64_t node_recoveries{0};
         std::uint64_t als_outages{0};       ///< outage events (≥1 node crashed)
         std::uint64_t churn_skipped{0};     ///< arrivals over max_concurrent_down
+        std::uint64_t server_flap_cycles{0};  ///< flap cycles that downed ≥1 node
         std::uint64_t frames_lost_loss_burst{0};
         std::uint64_t frames_lost_jam{0};
+        std::uint64_t frames_lost_partition{0};
         util::Sampler recovery_s;           ///< crash-end → probe-true latency
+        // Per-class breakdown of recovery_s (same samples, keyed by cause).
+        util::Sampler recovery_crash_s;
+        util::Sampler recovery_churn_s;
+        util::Sampler recovery_outage_s;
+        util::Sampler recovery_flap_s;
     };
 
     FaultInjector(net::Network& network, FaultPlan plan);
@@ -145,7 +183,9 @@ class FaultInjector {
     void arm();
 
     /// Crash `node` now; auto-recover after `duration` (SimTime{} = never).
-    void crash_node(NodeId node, SimTime duration);
+    /// `cause` keys the per-class recovery-latency sampler.
+    void crash_node(NodeId node, SimTime duration,
+                    CrashCause cause = CrashCause::kScheduled);
 
     bool is_down(NodeId node) const { return down_[node]; }
     int down_count() const { return down_count_; }
@@ -155,16 +195,19 @@ class FaultInjector {
     void publish_metrics(obs::MetricsRegistry& reg) const;
 
   private:
-    bool should_drop(const Vec2& rx_pos);
+    bool should_drop(const Vec2& tx_pos, const Vec2& rx_pos);
     void advance_ge_chain(SimTime now);
     void recover_node(NodeId node);
-    void watch_recovery(NodeId node, SimTime crashed_until);
+    void watch_recovery(NodeId node, SimTime crashed_until, CrashCause cause);
     void schedule_churn_arrival();
     void churn_arrival();
     void trigger_als_outage(const FaultPlan::AlsOutage& outage);
+    void flap_once(const FaultPlan::ServerFlap& flap);
     void install_gps_noise();
     void install_drop_model();
     bool jam_active(const Vec2& rx_pos, SimTime now) const;
+    bool partition_active(const Vec2& tx_pos, const Vec2& rx_pos, SimTime now) const;
+    util::Sampler& recovery_sampler(CrashCause cause);
 
     net::Network& network_;
     FaultPlan plan_;
@@ -172,6 +215,8 @@ class FaultInjector {
     util::Rng chan_rng_;
 
     std::vector<bool> down_;
+    /// Cause of each node's most recent crash (valid while down / recovering).
+    std::vector<CrashCause> crash_cause_;
     int down_count_{0};
 
     // Gilbert–Elliott chain state, advanced lazily at each decode decision.
@@ -183,6 +228,8 @@ class FaultInjector {
     /// Self-rescheduling recovery-watch polls; owned here (not by their own
     /// captures) so the injector is leak-free.
     std::vector<std::shared_ptr<std::function<void()>>> recovery_watchers_;
+    /// Self-rescheduling server-flap cycle drivers (same ownership idiom).
+    std::vector<std::shared_ptr<std::function<void()>>> flap_drivers_;
     Stats stats_;
 };
 

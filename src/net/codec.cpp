@@ -211,6 +211,24 @@ Bytes encode(const Packet& p, bool include_trace) {
             }
             break;
         }
+
+        case PacketType::kLocDigest: {
+            // Anti-entropy digest: (key hash, expiry) summaries only — never
+            // a location, payload, or cleartext identity. One-hop broadcast,
+            // so no perimeter block.
+            std::uint8_t flags = kFlagAnonymous;
+            if (p.ls_assist) flags |= kFlagAssist;
+            w.u8(flags);
+            put_u48(w, p.next_hop_pseudonym);
+            w.u32(p.grid);
+            put_vec(w, p.dst_loc);
+            w.u16(static_cast<std::uint16_t>(p.ls_digest.size()));
+            for (const auto& row : p.ls_digest) {
+                w.u64(row.key_hash);
+                w.u64(row.expires_ns);
+            }
+            break;
+        }
     }
 
     if (include_trace) {
@@ -274,7 +292,7 @@ DecodeResult decode_ex(std::span<const std::uint8_t> wire, bool include_trace) {
     ByteReader r(base);
     auto type_raw = r.u8();
     if (!type_raw) return fail(DecodeError::kTruncated);
-    if (*type_raw > static_cast<std::uint8_t>(PacketType::kLocReplicate))
+    if (*type_raw > static_cast<std::uint8_t>(PacketType::kLocDigest))
         return fail(DecodeError::kBadType);
 
     Packet p;
@@ -372,7 +390,8 @@ DecodeResult decode_ex(std::span<const std::uint8_t> wire, bool include_trace) {
         case PacketType::kLocUpdate:
         case PacketType::kLocReplicate:
         case PacketType::kLocRequest:
-        case PacketType::kLocReply: {
+        case PacketType::kLocReply:
+        case PacketType::kLocDigest: {
             auto flags = r.u8();
             auto n = get_u48(r);
             auto grid = r.u32();
@@ -416,6 +435,19 @@ DecodeResult decode_ex(std::span<const std::uint8_t> wire, bool include_trace) {
                     if (!subject || !src) return fail(DecodeError::kTruncated);
                     p.ls_subject = *subject;
                     p.src_id = *src;
+                }
+            } else if (p.type == PacketType::kLocDigest) {
+                auto count = r.u16();
+                if (!count) return fail(DecodeError::kTruncated);
+                // 16 bytes per digest row.
+                if (static_cast<std::size_t>(*count) * 16 > r.remaining())
+                    return fail(DecodeError::kBadLength);
+                p.ls_digest.reserve(*count);
+                for (std::uint16_t i = 0; i < *count; ++i) {
+                    auto key_hash = r.u64();
+                    auto expires = r.u64();
+                    if (!key_hash || !expires) return fail(DecodeError::kTruncated);
+                    p.ls_digest.push_back({*key_hash, *expires});
                 }
             } else {  // kLocReply
                 auto qid = r.u64();

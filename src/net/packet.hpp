@@ -28,6 +28,7 @@ enum class PacketType : std::uint8_t {
     kLocRequest,  ///< LREQ
     kLocReply,    ///< LREP
     kLocReplicate,  ///< one-hop server-side replication inside the home grid
+    kLocDigest,     ///< anti-entropy store digest among in-grid replicas
 };
 
 /// One network-layer packet. Deliberately a kitchen-sink struct: the
@@ -96,6 +97,16 @@ struct Packet {
     // geoanon: sink(wire)
     Vec2 requester_loc{};           ///< LREQ: where to send the LREP (loc_B)
     std::uint64_t ls_query_id{0};   ///< matches LREP to LREQ at the requester
+    /// Anti-entropy digest row (kLocDigest): a hash of the stored row's key
+    /// and its expiry. Hashes of encrypted indexes / public subject ids only —
+    /// a digest never carries a location or a cleartext identity.
+    struct LsDigestRow {
+        std::uint64_t key_hash{0};
+        std::uint64_t expires_ns{0};
+        friend bool operator==(const LsDigestRow&, const LsDigestRow&) = default;
+    };
+    // geoanon: sink(wire)
+    std::vector<LsDigestRow> ls_digest;
     /// Set on one-hop assist/last-resort copies of LS packets so receivers
     /// only consume or drop them (never re-route: loop prevention).
     bool ls_assist{false};

@@ -29,6 +29,8 @@ const char* event_type_name(EventType t) {
         case EventType::kPseudonymRotated: return "pseudonym_rotated";
         case EventType::kLsQuery: return "ls_query";
         case EventType::kLsReply: return "ls_reply";
+        case EventType::kLsHandoff: return "ls_handoff";
+        case EventType::kLsReadRepair: return "ls_read_repair";
         case EventType::kFaultFired: return "fault_fired";
     }
     return "?";

@@ -35,6 +35,8 @@ enum class EventType : std::uint8_t {
     kPseudonymRotated, ///< new current pseudonym (detail = n)
     kLsQuery,          ///< location query sent (detail = query id)
     kLsReply,          ///< location reply served (detail = query id)
+    kLsHandoff,        ///< replica left server radius, handed rows off (detail = grid)
+    kLsReadRepair,     ///< served row re-replicated to in-grid peers (detail = query id)
     kFaultFired,       ///< fault injector action (detail = FaultKind)
 };
 
@@ -65,6 +67,8 @@ enum class FaultKind : std::uint64_t {
     kLossBurst = 4,
     kJam = 5,
     kGpsNoise = 6,
+    kPartition = 7,
+    kServerFlap = 8,
 };
 
 /// Every enumerator, for exhaustive iteration (name round-trips, schema
@@ -80,6 +84,7 @@ inline constexpr EventType kAllEventTypes[] = {
     EventType::kAckSent,         EventType::kAckReceived,
     EventType::kHelloSent,       EventType::kPseudonymRotated,
     EventType::kLsQuery,         EventType::kLsReply,
+    EventType::kLsHandoff,       EventType::kLsReadRepair,
     EventType::kFaultFired,
 };
 inline constexpr DropCause kAllDropCauses[] = {

@@ -151,6 +151,7 @@ void GpsrGreedyAgent::route_packet(std::shared_ptr<Packet> pkt) {
         case net::PacketType::kLocRequest:
         case net::PacketType::kLocReply:
         case net::PacketType::kLocReplicate:
+        case net::PacketType::kLocDigest:
             if (ls_ && ls_->handle(p)) return;
             break;
         default:
@@ -215,6 +216,7 @@ void GpsrGreedyAgent::on_packet(const PacketPtr& pkt, MacAddr src) {
         case net::PacketType::kLocRequest:
         case net::PacketType::kLocReply:
         case net::PacketType::kLocReplicate:
+        case net::PacketType::kLocDigest:
             if (ls_ && ls_->handle(pkt)) return;
             if (!pkt->ls_assist) forward(pkt);
             break;

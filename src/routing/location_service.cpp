@@ -2,6 +2,7 @@
 
 #include "net/codec.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 #include "obs/metrics.hpp"
@@ -13,6 +14,39 @@ namespace geoanon::routing {
 using util::Bytes;
 using util::ByteReader;
 using util::ByteWriter;
+
+namespace {
+
+// FNV-1a over store keys for anti-entropy digests. Anonymous keys are hex of
+// the encrypted index E_{K_B}(A,B); plain keys are tagged subject ids (the
+// subject is already cleartext on DLM updates, so hashing leaks nothing new).
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+std::uint64_t fnv1a(std::uint64_t h, const std::uint8_t* p, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= kFnvPrime;
+    }
+    return h;
+}
+
+std::uint64_t anon_key_hash(const std::string& hex_key) {
+    return fnv1a(kFnvOffset, reinterpret_cast<const std::uint8_t*>(hex_key.data()),
+                 hex_key.size());
+}
+
+std::uint64_t plain_key_hash(net::NodeId subject) {
+    const std::uint8_t tag = 0x01;  // domain separation from anonymous keys
+    std::uint8_t b[4];
+    b[0] = static_cast<std::uint8_t>(subject);
+    b[1] = static_cast<std::uint8_t>(subject >> 8);
+    b[2] = static_cast<std::uint8_t>(subject >> 16);
+    b[3] = static_cast<std::uint8_t>(subject >> 24);
+    return fnv1a(fnv1a(kFnvOffset, &tag, 1), b, 4);
+}
+
+}  // namespace
 
 LocationService::LocationService(Mode mode, GridMap grid, Params params, Hooks hooks)
     : mode_(mode), grid_(grid), params_(params), hooks_(std::move(hooks)) {
@@ -40,11 +74,27 @@ void LocationService::start() {
         SimTime::nanos(hooks_.rng->uniform_int(0, params_.update_jitter.ns()));
     update_timer_.start(*hooks_.sim, params_.update_interval, first,
                         [this] { send_update(); });
+    if (params_.replicate && params_.anti_entropy &&
+        params_.digest_interval > SimTime::zero()) {
+        // Jittered first tick: co-located replicas must not gossip in phase.
+        const SimTime dfirst =
+            params_.digest_interval +
+            SimTime::nanos(hooks_.rng->uniform_int(0, params_.digest_interval.ns() / 4));
+        digest_timer_.start(*hooks_.sim, params_.digest_interval, dfirst,
+                            [this] { digest_tick(); });
+    }
+    if (params_.sweep_interval > SimTime::zero()) {
+        sweep_timer_.start(*hooks_.sim, params_.sweep_interval, params_.sweep_interval,
+                           [this] { sweep_expired(); });
+    }
 }
 
 void LocationService::reset() {
     plain_store_.clear();
     anon_store_.clear();
+    serving_.clear();
+    last_digest_.clear();
+    resolved_qids_.clear();
     stats_.pending_wiped += pending_.size();
     // geoanon-lint: allow(unordered-iter) -- cancel() only marks event ids; cancellation order cannot reach any output
     for (auto& [qid, q] : pending_) hooks_.sim->cancel(q.timeout);
@@ -112,15 +162,48 @@ void LocationService::resolve(NodeId target,
     PendingQuery q;
     q.target = target;
     q.cb = std::move(cb);
+    q.started = hooks_.sim->now();
     pending_.emplace(qid, std::move(q));
     send_query(qid);
+}
+
+std::optional<LocationService::QueryFormat>
+LocationService::stage_format(std::uint8_t stage) const {
+    // Degradation ladder (DESIGN.md §14). Every rung past the first needs
+    // the previous one to have timed out; the plain-subject rung of an
+    // anonymous requester still never names the requester, and the indexed
+    // rung of a plain requester needs key material.
+    switch (mode_) {
+        case Mode::kAnonymous:
+            if (stage == 0) return QueryFormat::kIndexed;
+            if (stage == 1) return QueryFormat::kIndexFree;
+            if (stage == 2) return QueryFormat::kPlainSubject;
+            return std::nullopt;
+        case Mode::kAnonymousIndexFree:
+            if (stage == 0) return QueryFormat::kIndexFree;
+            if (stage == 1) return QueryFormat::kPlainSubject;
+            return std::nullopt;
+        case Mode::kPlain:
+            if (stage == 0) return QueryFormat::kPlainSubject;
+            if (stage == 1 && hooks_.engine) return QueryFormat::kIndexed;
+            return std::nullopt;
+    }
+    return std::nullopt;
+}
+
+SimTime LocationService::retry_delay(int attempt) {
+    const util::RetryPolicy::Params p{.initial = params_.query_timeout,
+                                      .multiplier = 2.0,
+                                      .cap = params_.query_backoff_cap,
+                                      .jitter = params_.query_jitter};
+    return util::RetryPolicy::delay(p, attempt, *hooks_.rng);
 }
 
 void LocationService::send_query(std::uint64_t qid) {
     auto it = pending_.find(qid);
     if (it == pending_.end()) return;
     PendingQuery& q = it->second;
-    if (q.attempts > 0 || q.fallback) ++stats_.query_reissues;
+    if (q.attempts > 0 || q.stage > 0) ++stats_.query_reissues;
     ++q.attempts;
 
     auto pkt = std::make_shared<Packet>();
@@ -133,16 +216,21 @@ void LocationService::send_query(std::uint64_t qid) {
     pkt->ls_query_id = qid;
     pkt->uid = hooks_.rng->next_u64();
 
-    const bool plain_format = (mode_ == Mode::kPlain) != q.fallback;  // XOR
-    if (plain_format) {
-        pkt->ls_subject = q.target;
-        // Plain DLM exposes the requester; the heterogeneous fallback of an
-        // anonymous requester names only the (public) target.
-        // geoanon-lint: allow(privacy-taint) -- plain DLM baseline: requester identity on LREQ is the documented exposure; anonymous mode sends ls_index instead
-        if (mode_ == Mode::kPlain) pkt->src_id = hooks_.my_id;
-    } else if (mode_ == Mode::kAnonymous || q.fallback) {
-        pkt->ls_index = make_index(q.target, hooks_.my_id);
-    }  // index-free primary: no index, no identity at all
+    const QueryFormat fmt = stage_format(q.stage).value_or(QueryFormat::kIndexFree);
+    switch (fmt) {
+        case QueryFormat::kPlainSubject:
+            pkt->ls_subject = q.target;
+            // Plain DLM exposes the requester; the ladder's plain rung for
+            // an anonymous requester names only the (public) target.
+            // geoanon-lint: allow(privacy-taint) -- plain DLM baseline: requester identity on LREQ is the documented exposure; anonymous mode sends ls_index instead
+            if (mode_ == Mode::kPlain) pkt->src_id = hooks_.my_id;
+            break;
+        case QueryFormat::kIndexed:
+            pkt->ls_index = make_index(q.target, hooks_.my_id);
+            break;
+        case QueryFormat::kIndexFree:
+            break;  // no index, no identity at all
+    }
     pkt->wire_bytes = static_cast<std::uint32_t>(net::codec::encoded_size(*pkt));
 
     ++stats_.queries_sent;
@@ -154,20 +242,17 @@ void LocationService::send_query(std::uint64_t qid) {
     // request and its reply synchronously (requester in the home grid, or a
     // one-hop store hit), and on_reply() erases the pending entry — writing
     // q.timeout afterwards would dangle. on_reply cancels the timeout.
-    q.timeout = hooks_.sim->after(params_.query_timeout, [this, qid] {
+    q.timeout = hooks_.sim->after(retry_delay(q.attempts), [this, qid] {
         auto it2 = pending_.find(qid);
         if (it2 == pending_.end()) return;
         if (it2->second.attempts <= params_.query_retries) {
             send_query(qid);
             return;
         }
-        const bool can_fallback =
-            mode_ != Mode::kPlain || hooks_.engine != nullptr;
-        if (!it2->second.fallback && can_fallback) {
-            // §3.3 heterogeneous: the target may be running the other
-            // service flavor. One more round in the other row format.
+        if (stage_format(static_cast<std::uint8_t>(it2->second.stage + 1))) {
+            // Next rung of the degradation ladder, with a fresh retry budget.
             ++stats_.query_fallbacks;
-            it2->second.fallback = true;
+            ++it2->second.stage;
             it2->second.attempts = 0;
             send_query(qid);
             return;
@@ -205,10 +290,15 @@ bool LocationService::handle(const PacketPtr& pkt) {
             }
             return false;
         case net::PacketType::kLocReply: {
-            const bool mine =
-                pending_.contains(pkt->ls_query_id) &&
-                (pkt->dst_id == hooks_.my_id || pkt->dst_id == net::kInvalidNode);
-            if (mine) {
+            const bool addressed =
+                pkt->dst_id == hooks_.my_id || pkt->dst_id == net::kInvalidNode;
+            if (addressed && resolved_qids_.contains(pkt->ls_query_id)) {
+                // Quorum resolve: any replica may answer, the first reply
+                // wins, and the rest are suppressed here by query id.
+                ++stats_.duplicates_suppressed;
+                return true;
+            }
+            if (addressed && pending_.contains(pkt->ls_query_id)) {
                 on_reply(pkt);
                 return true;
             }
@@ -224,6 +314,11 @@ bool LocationService::handle(const PacketPtr& pkt) {
         }
         case net::PacketType::kLocReplicate:
             store_row(pkt);
+            return true;
+        case net::PacketType::kLocDigest:
+            // One-hop replica gossip: consumed here, never geo-routed.
+            if (params_.replicate && params_.anti_entropy && near_home_center(pkt))
+                on_digest(pkt);
             return true;
         default:
             return false;
@@ -247,13 +342,21 @@ bool LocationService::handle_stuck(const PacketPtr& pkt) {
             hooks_.local_broadcast(std::move(copy));
             return true;
         }
+        case net::PacketType::kLocDigest:
+            return true;  // gossip is one-hop; a stuck copy just dies
         default:
             return false;
     }
 }
 
 void LocationService::store_row(const PacketPtr& pkt) {
-    const SimTime expires = hooks_.sim->now() + params_.entry_ttl;
+    // Anonymous rows inherit the sender's remaining TTL (created_at is the
+    // original store/update time on repair and handoff pushes), clamped so a
+    // peer can never hand us a row that outlives a fresh local store. This
+    // keeps a dead updater's row from being kept alive forever by gossip.
+    const SimTime now = hooks_.sim->now();
+    const SimTime expires =
+        std::min(pkt->created_at + params_.entry_ttl, now + params_.entry_ttl);
     bool fresh = false;
 
     // Dispatch on the ROW's format, not this server's own mode: the paper's
@@ -295,46 +398,74 @@ void LocationService::store_row(const PacketPtr& pkt) {
 }
 
 void LocationService::answer_request(const PacketPtr& pkt) {
+    const SimTime now = hooks_.sim->now();
+    // A row is servable while live, or — last rung of the degradation
+    // ladder — while expired by no more than stale_grace (a possibly stale
+    // location beats a failed resolve during an outage).
+    const auto servable = [&](SimTime expires, bool& stale) {
+        if (expires >= now) return true;
+        stale = params_.stale_grace > SimTime::zero() &&
+                expires + params_.stale_grace >= now;
+        return stale;
+    };
+
     auto reply = std::make_shared<Packet>();
     reply->type = net::PacketType::kLocReply;
     reply->grid = pkt->grid;
     reply->dst_loc = pkt->requester_loc;
-    reply->created_at = hooks_.sim->now();
+    reply->created_at = now;
     reply->ls_query_id = pkt->ls_query_id;
     reply->uid = hooks_.rng->next_u64();
+
+    // Read repair (anti-entropy): when a neighbor asked for help after its
+    // own miss, re-replicate what we serve so the asking replica recovers
+    // the row without waiting for the next digest round.
+    std::vector<std::string> repair_keys;
+    std::optional<NodeId> repair_subject;
 
     // Serve according to the REQUEST's format (heterogeneous §3.3).
     if (pkt->ls_subject != net::kInvalidNode) {
         auto it = plain_store_.find(pkt->ls_subject);
-        if (it == plain_store_.end() || it->second.expires < hooks_.sim->now()) {
+        bool stale = false;
+        if (it == plain_store_.end() || !servable(it->second.expires, stale)) {
             ++stats_.store_misses;
             return;
         }
         ++stats_.store_hits;
+        if (stale) ++stats_.stale_reads;
         reply->dst_id = pkt->src_id;
         reply->ls_subject = pkt->ls_subject;
         reply->ls_subject_loc = it->second.loc;
         reply->wire_bytes = static_cast<std::uint32_t>(net::codec::encoded_size(*reply));
+        repair_subject = pkt->ls_subject;
     } else if (!pkt->ls_index.empty()) {
         const std::string key = util::to_hex(pkt->ls_index);
         auto it = anon_store_.find(key);
-        if (it == anon_store_.end() || it->second.expires < hooks_.sim->now()) {
+        bool stale = false;
+        if (it == anon_store_.end() || !servable(it->second.expires, stale)) {
             ++stats_.store_misses;
             return;
         }
         ++stats_.store_hits;
+        if (stale) ++stats_.stale_reads;
         ByteWriter rows;
         rows.u32(1);
         rows.bytes(it->second.payload);
         reply->ls_payload = rows.take();
         reply->wire_bytes = static_cast<std::uint32_t>(net::codec::encoded_size(*reply));
-    } else {  // index-free: return every live row of this grid
+        repair_keys.push_back(key);
+    } else {  // index-free: return every servable row of this grid
         ByteWriter rows;
         std::uint32_t count = 0;
         ByteWriter body;
+        std::uint64_t stale_rows = 0;
         for (const auto& [key, row] : anon_store_) {
-            if (row.grid != pkt->grid || row.expires < hooks_.sim->now()) continue;
+            if (row.grid != pkt->grid) continue;
+            bool stale = false;
+            if (!servable(row.expires, stale)) continue;
+            if (stale) ++stale_rows;
             body.bytes(row.payload);
+            repair_keys.push_back(key);
             ++count;
         }
         if (count == 0) {
@@ -342,6 +473,7 @@ void LocationService::answer_request(const PacketPtr& pkt) {
             return;
         }
         ++stats_.store_hits;
+        stats_.stale_reads += stale_rows;
         rows.u32(count);
         rows.raw(body.data());
         reply->ls_payload = rows.take();
@@ -354,6 +486,21 @@ void LocationService::answer_request(const PacketPtr& pkt) {
                   .uid = reply->uid, .bytes = reply->wire_bytes,
                   .detail = reply->ls_query_id);
     hooks_.route(reply);
+
+    if (pkt->ls_assist && params_.replicate && params_.anti_entropy) {
+        if (repair_subject) {
+            push_plain_row(*repair_subject, plain_store_.at(*repair_subject));
+            ++stats_.read_repairs;
+        } else if (!repair_keys.empty()) {
+            push_anon_rows(pkt->grid, repair_keys);
+            stats_.read_repairs += repair_keys.size();
+        }
+        if (repair_subject || !repair_keys.empty()) {
+            GEOANON_TRACE(*hooks_.sim, .type = obs::EventType::kLsReadRepair,
+                          .node = hooks_.my_id, .uid = reply->uid,
+                          .detail = reply->ls_query_id);
+        }
+    }
 }
 
 void LocationService::serve(const PacketPtr& pkt) {
@@ -378,6 +525,23 @@ void LocationService::serve(const PacketPtr& pkt) {
     ++stats_.store_misses;
 }
 
+void LocationService::complete_ok(std::uint64_t qid, util::Vec2 loc) {
+    auto it = pending_.find(qid);
+    if (it == pending_.end()) return;
+    if (it->second.attempts > 1 || it->second.stage > 0) {
+        // The primary attempt did not answer: this resolve paid a failover
+        // (reissue or ladder rung) — record how long the detour took.
+        stats_.failover_latency_ms.add(
+            (hooks_.sim->now() - it->second.started).to_millis());
+    }
+    resolved_qids_[qid] = hooks_.sim->now();
+    auto cb = std::move(it->second.cb);
+    hooks_.sim->cancel(it->second.timeout);
+    pending_.erase(it);
+    ++stats_.resolved_ok;
+    cb(loc);
+}
+
 void LocationService::on_reply(const PacketPtr& pkt) {
     auto it = pending_.find(pkt->ls_query_id);
     if (it == pending_.end()) return;
@@ -386,11 +550,7 @@ void LocationService::on_reply(const PacketPtr& pkt) {
     // fallback) carry the location directly.
     if (pkt->ls_subject != net::kInvalidNode) {
         if (pkt->ls_subject != it->second.target) return;  // stray reply
-        auto cb = std::move(it->second.cb);
-        hooks_.sim->cancel(it->second.timeout);
-        pending_.erase(it);
-        ++stats_.resolved_ok;
-        cb(pkt->ls_subject_loc);
+        complete_ok(pkt->ls_query_id, pkt->ls_subject_loc);
         return;
     }
     if (!hooks_.engine) return;  // cannot decrypt anonymous rows
@@ -419,15 +579,208 @@ void LocationService::on_reply(const PacketPtr& pkt) {
     const SimTime cost =
         hooks_.engine->costs().pk_decrypt * static_cast<std::int64_t>(attempts);
     charge(cost, [this, qid = pkt->ls_query_id, found] {
-        auto it2 = pending_.find(qid);
-        if (it2 == pending_.end()) return;
         if (!found) return;  // wrong rows; keep waiting for another reply
-        auto cb = std::move(it2->second.cb);
-        hooks_.sim->cancel(it2->second.timeout);
-        pending_.erase(it2);
-        ++stats_.resolved_ok;
-        cb(found);
+        complete_ok(qid, *found);
     });
+}
+
+void LocationService::push_anon_rows(std::uint32_t grid,
+                                     const std::vector<std::string>& keys) {
+    auto pkt = std::make_shared<Packet>();
+    pkt->type = net::PacketType::kLocReplicate;
+    pkt->grid = grid;
+    pkt->dst_loc = grid_.center_of(grid);
+    pkt->ls_assist = true;
+    pkt->uid = hooks_.rng->next_u64();
+
+    ByteWriter rows;
+    std::uint32_t count = 0;
+    ByteWriter body;
+    // Receivers adopt created_at + entry_ttl as the row expiry, so carry the
+    // most conservative remaining TTL of the batch — gossip must never
+    // extend a row's life beyond what the updater authorized.
+    SimTime min_expires = SimTime::max();
+    for (const std::string& key : keys) {
+        auto it = anon_store_.find(key);
+        if (it == anon_store_.end()) continue;
+        auto index = util::from_hex(key);
+        if (!index) continue;
+        body.bytes(*index);
+        body.bytes(it->second.payload);
+        min_expires = std::min(min_expires, it->second.expires);
+        ++count;
+    }
+    if (count == 0) return;
+    pkt->created_at = min_expires - params_.entry_ttl;
+    rows.u32(count);
+    rows.raw(body.data());
+    pkt->ls_payload = rows.take();
+    pkt->wire_bytes = static_cast<std::uint32_t>(net::codec::encoded_size(*pkt));
+    hooks_.local_broadcast(std::move(pkt));
+}
+
+void LocationService::push_plain_row(NodeId subject, const PlainRow& row) {
+    auto pkt = std::make_shared<Packet>();
+    pkt->type = net::PacketType::kLocReplicate;
+    pkt->grid = grid_.home_grid(subject);
+    pkt->dst_loc = grid_.center_of(pkt->grid);
+    // The original update timestamp rides along so receivers keep the DLM
+    // freshness ordering (a repair push must never beat a newer update).
+    pkt->created_at = row.ts;
+    pkt->ls_assist = true;
+    // geoanon-lint: allow(privacy-taint) -- plain DLM baseline: the subject is already cleartext on the row being re-replicated
+    pkt->ls_subject = subject;
+    // geoanon-lint: allow(privacy-taint) -- plain DLM baseline, see ls_subject above
+    pkt->ls_subject_loc = row.loc;
+    pkt->uid = hooks_.rng->next_u64();
+    pkt->wire_bytes = static_cast<std::uint32_t>(net::codec::encoded_size(*pkt));
+    hooks_.local_broadcast(std::move(pkt));
+}
+
+// Builds and broadcasts this node's anti-entropy digest for `grid`: one
+// (key hash, expiry) row per stored entry of that grid. Runs every
+// digest_interval on every serving replica, so it must not thrash the heap.
+// geoanon: hot
+void LocationService::send_digest(std::uint32_t grid) {
+    // geoanon-lint: allow(hot-alloc) -- packets are immutable shared-ownership objects by design; a packet arena is ROADMAP item 1, not a per-call fix
+    auto pkt = std::make_shared<Packet>();
+    pkt->type = net::PacketType::kLocDigest;
+    pkt->grid = grid;
+    pkt->dst_loc = grid_.center_of(grid);
+    pkt->created_at = hooks_.sim->now();
+    pkt->ls_assist = true;
+    pkt->uid = hooks_.rng->next_u64();
+    pkt->ls_digest.reserve(anon_store_.size() + plain_store_.size());
+    for (const auto& [key, row] : anon_store_) {
+        if (row.grid != grid) continue;
+        pkt->ls_digest.push_back(
+            {anon_key_hash(key), static_cast<std::uint64_t>(row.expires.ns())});
+    }
+    // geoanon-lint: allow(unordered-iter) -- digest rows are an unordered SET compared hash-by-hash at the receiver; wire order cannot reach any decision or output
+    for (const auto& [subject, row] : plain_store_) {
+        if (grid_.home_grid(subject) != grid) continue;
+        pkt->ls_digest.push_back(
+            {plain_key_hash(subject), static_cast<std::uint64_t>(row.expires.ns())});
+    }
+    pkt->wire_bytes = static_cast<std::uint32_t>(net::codec::encoded_size(*pkt));
+    ++stats_.digests_sent;
+    stats_.digest_bytes += pkt->wire_bytes;
+    last_digest_[grid] = hooks_.sim->now();
+    hooks_.local_broadcast(std::move(pkt));
+}
+
+void LocationService::handoff_grid(std::uint32_t grid) {
+    // Hinted handoff: this replica drifted out of server_radius_m, so its
+    // rows would otherwise be lost to the grid. Push them to whoever is
+    // still inside before stepping down (the rows themselves stay until
+    // they expire; we just stop serving/gossiping them).
+    std::vector<std::string> keys;
+    for (const auto& [key, row] : anon_store_)
+        if (row.grid == grid) keys.push_back(key);
+    if (!keys.empty()) push_anon_rows(grid, keys);
+    std::vector<NodeId> subjects;
+    // geoanon-lint: allow(unordered-iter) -- collection only; sorted below before anything is emitted
+    for (const auto& [subject, row] : plain_store_)
+        if (grid_.home_grid(subject) == grid) subjects.push_back(subject);
+    std::sort(subjects.begin(), subjects.end());
+    for (NodeId subject : subjects) push_plain_row(subject, plain_store_.at(subject));
+    if (keys.empty() && subjects.empty()) return;
+    ++stats_.handoffs;
+    GEOANON_TRACE(*hooks_.sim, .type = obs::EventType::kLsHandoff,
+                  .node = hooks_.my_id, .detail = grid);
+}
+
+void LocationService::digest_tick() {
+    if (hooks_.is_up && !hooks_.is_up()) return;
+    const util::Vec2 me = hooks_.my_position();
+
+    // Grids this node holds rows for (plain rows live in their subject's
+    // home grid).
+    std::set<std::uint32_t> grids;
+    for (const auto& [key, row] : anon_store_) grids.insert(row.grid);
+    // geoanon-lint: allow(unordered-iter) -- inserts into a std::set; iteration order cannot escape
+    for (const auto& [subject, row] : plain_store_)
+        grids.insert(grid_.home_grid(subject));
+
+    for (const std::uint32_t g : grids) {
+        const bool in_radius =
+            util::distance(me, grid_.center_of(g)) <= params_.server_radius_m;
+        if (in_radius) {
+            serving_.insert(g);
+            send_digest(g);
+        } else if (serving_.erase(g) > 0) {
+            handoff_grid(g);
+        }
+    }
+    // Grids we served but no longer hold rows for need no handoff.
+    std::erase_if(serving_, [&](std::uint32_t g) { return !grids.contains(g); });
+}
+
+void LocationService::on_digest(const PacketPtr& pkt) {
+    const SimTime now = hooks_.sim->now();
+    const std::uint32_t g = pkt->grid;
+    // Peer rows beat ours only past this margin; without it two replicas
+    // whose expiries differ by a transit delay would push at each other
+    // every round.
+    const SimTime margin = SimTime::seconds(1.0);
+
+    std::unordered_map<std::uint64_t, std::uint64_t> peer;
+    peer.reserve(pkt->ls_digest.size());
+    for (const auto& row : pkt->ls_digest) peer.emplace(row.key_hash, row.expires_ns);
+
+    // Push rows the sender lacks or holds staler than ours.
+    const auto peer_wants = [&](std::uint64_t hash, SimTime expires) {
+        if (expires < now) return false;  // nothing to gain from a dead row
+        auto it = peer.find(hash);
+        return it == peer.end() ||
+               SimTime::nanos(static_cast<std::int64_t>(it->second)) + margin < expires;
+    };
+    std::vector<std::string> keys;
+    std::uint64_t known_hashes_here = 0;
+    for (const auto& [key, row] : anon_store_) {
+        if (row.grid != g) continue;
+        if (peer.contains(anon_key_hash(key))) ++known_hashes_here;
+        if (peer_wants(anon_key_hash(key), row.expires)) keys.push_back(key);
+    }
+    std::vector<NodeId> subjects;
+    // geoanon-lint: allow(unordered-iter) -- collection only; sorted below before anything is emitted
+    for (const auto& [subject, row] : plain_store_) {
+        if (grid_.home_grid(subject) != g) continue;
+        if (peer.contains(plain_key_hash(subject))) ++known_hashes_here;
+        if (peer_wants(plain_key_hash(subject), row.expires)) subjects.push_back(subject);
+    }
+    std::sort(subjects.begin(), subjects.end());
+    if (!keys.empty()) {
+        push_anon_rows(g, keys);
+        stats_.repairs_sent += keys.size();
+    }
+    for (NodeId subject : subjects) push_plain_row(subject, plain_store_.at(subject));
+    stats_.repairs_sent += subjects.size();
+
+    // The sender advertises rows we have never seen: answer with our own
+    // digest (possibly empty — e.g. right after a restart) so the sender
+    // pushes them our way. Rate-limited per grid to half a digest interval.
+    if (known_hashes_here < peer.size()) {
+        auto last = last_digest_.find(g);
+        const SimTime gap = SimTime::nanos(params_.digest_interval.ns() / 2);
+        if (last == last_digest_.end() || last->second + gap <= now) send_digest(g);
+    }
+}
+
+void LocationService::sweep_expired() {
+    if (hooks_.is_up && !hooks_.is_up()) return;
+    const SimTime now = hooks_.sim->now();
+    // Keep stale-grace rows servable: only drop past expiry + grace.
+    const SimTime horizon = now - params_.stale_grace;
+    const std::size_t before = plain_store_.size() + anon_store_.size();
+    std::erase_if(plain_store_,
+                  [&](const auto& kv) { return kv.second.expires < horizon; });
+    std::erase_if(anon_store_,
+                  [&](const auto& kv) { return kv.second.expires < horizon; });
+    stats_.store_expired += before - (plain_store_.size() + anon_store_.size());
+    // Closed-query records only need to outlive straggling quorum replies.
+    std::erase_if(resolved_qids_,
+                  [&](const auto& kv) { return kv.second + params_.entry_ttl < now; });
 }
 
 void LocationService::publish_metrics(obs::MetricsRegistry& reg) const {
@@ -447,6 +800,15 @@ void LocationService::publish_metrics(obs::MetricsRegistry& reg) const {
     reg.add("ls.query_fallbacks", stats_.query_fallbacks);
     reg.add("ls.late_replies", stats_.late_replies);
     reg.add("ls.pending_wiped", stats_.pending_wiped);
+    reg.add("ls.store.expired", stats_.store_expired);
+    reg.add("ls.replica.digests_sent", stats_.digests_sent);
+    reg.add("ls.replica.digest_bytes", stats_.digest_bytes);
+    reg.add("ls.replica.repairs_sent", stats_.repairs_sent);
+    reg.add("ls.replica.handoffs", stats_.handoffs);
+    reg.add("ls.replica.read_repairs", stats_.read_repairs);
+    reg.add("ls.replica.duplicates_suppressed", stats_.duplicates_suppressed);
+    reg.add("ls.failover.stale_reads", stats_.stale_reads);
+    reg.observe_all("ls.failover.latency_ms", stats_.failover_latency_ms);
 }
 
 }  // namespace geoanon::routing

@@ -5,6 +5,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -15,7 +16,9 @@
 #include "routing/grid.hpp"
 #include "routing/wire.hpp"
 #include "sim/simulator.hpp"
+#include "util/retry.hpp"
 #include "util/rng.hpp"
+#include "util/stats.hpp"
 
 namespace geoanon::obs {
 class MetricsRegistry;
@@ -56,8 +59,27 @@ class LocationService {
         SimTime entry_ttl{SimTime::seconds(40.0)};
         SimTime query_timeout{SimTime::seconds(2.0)};
         int query_retries{1};
+        /// Reissue backoff (util::RetryPolicy): the first retry waits
+        /// query_timeout, doubling per attempt up to this cap, with
+        /// `query_jitter` fractional jitter drawn from the host RNG so
+        /// requesters hitting the same dark grid do not retry in lockstep.
+        SimTime query_backoff_cap{SimTime::seconds(8.0)};
+        double query_jitter{0.25};
         /// Replicate stored rows to in-range in-grid neighbors on update.
         bool replicate{true};
+        /// Anti-entropy among in-grid replicas: periodic digest exchange,
+        /// push repair of rows a peer lacks, hinted handoff when a server
+        /// leaves the radius, and read repair on assisted serves. Only
+        /// meaningful with `replicate` on.
+        bool anti_entropy{true};
+        SimTime digest_interval{SimTime::seconds(5.0)};
+        /// Last rung of the degradation ladder: serve a row that expired no
+        /// longer than this ago when no live row exists (the requester gets
+        /// a possibly stale location instead of a failure). Zero disables.
+        SimTime stale_grace{};
+        /// Periodic sweep dropping expired rows and closed-query records so
+        /// long-running servers do not grow unbounded. Zero disables.
+        SimTime sweep_interval{SimTime::seconds(10.0)};
         /// Radius around the grid center within which a node serves.
         double server_radius_m{200.0};
         /// Charge modeled crypto CPU costs on ALS operations.
@@ -102,9 +124,21 @@ class LocationService {
         /// the network" (reissues with replies_sent > 0 somewhere) from "the
         /// server grid is dark" (reissues with no reply traffic at all).
         std::uint64_t query_reissues{0};   ///< timeout-driven re-sends
-        std::uint64_t query_fallbacks{0};  ///< heterogeneous-format rounds
-        std::uint64_t late_replies{0};     ///< reply for an already-closed query
+        std::uint64_t query_fallbacks{0};  ///< degradation-ladder stage advances
+        std::uint64_t late_replies{0};     ///< reply for a query that already failed
         std::uint64_t pending_wiped{0};    ///< queries dropped by reset()
+        // Replica-set health (ls.replica.* / ls.failover.* metrics).
+        std::uint64_t store_expired{0};    ///< rows dropped by the periodic sweep
+        std::uint64_t digests_sent{0};     ///< anti-entropy digests broadcast
+        std::uint64_t digest_bytes{0};
+        std::uint64_t repairs_sent{0};     ///< rows pushed to repair a peer
+        std::uint64_t handoffs{0};         ///< grids handed off on radius exit
+        std::uint64_t read_repairs{0};     ///< rows re-replicated on assisted serve
+        std::uint64_t duplicates_suppressed{0};  ///< quorum replies after the first
+        std::uint64_t stale_reads{0};      ///< expired rows served within grace
+        /// Resolve latency (ms) of queries that needed at least one reissue
+        /// or ladder stage — i.e. the cost of failing over to a replica.
+        util::Sampler failover_latency_ms;
     };
 
     LocationService(Mode mode, GridMap grid, Params params, Hooks hooks);
@@ -152,17 +186,19 @@ class LocationService {
         std::uint32_t grid;
         SimTime expires;
     };
+    /// On-air shape of one query round. The degradation ladder walks a
+    /// mode-specific sequence of formats, each with its own retry budget:
+    /// §3.3's heterogeneous fallback (the target may run the other service
+    /// flavor) generalized with the index-free round as a middle rung — it
+    /// needs no per-requester row, so it can hit any replica of the grid.
+    enum class QueryFormat : std::uint8_t { kIndexed, kIndexFree, kPlainSubject };
+
     struct PendingQuery {
         NodeId target;
         std::function<void(std::optional<util::Vec2>)> cb;
-        int attempts{0};
-        /// Heterogeneous fallback (§3.3): after the primary-format query
-        /// exhausts its retries, retry once in the other row format — the
-        /// target may run the other service flavor. Anonymous requesters
-        /// fall back to plain-subject queries (still without sending their
-        /// own identity); plain requesters with key material fall back to
-        /// the indexed anonymous query.
-        bool fallback{false};
+        int attempts{0};        ///< sends within the current ladder stage
+        std::uint8_t stage{0};  ///< index into the mode's degradation ladder
+        SimTime started{};      ///< resolve() time, for failover latency
         sim::EventId timeout{sim::kInvalidEvent};
     };
 
@@ -175,6 +211,24 @@ class LocationService {
     bool near_home_center(const PacketPtr& pkt) const;
     void charge(SimTime cost, std::function<void()> done);
     util::Bytes make_index(NodeId updater, NodeId requester) const;
+    /// Query format for ladder stage `stage`, or nullopt past the last rung.
+    std::optional<QueryFormat> stage_format(std::uint8_t stage) const;
+    /// RetryPolicy delay after the `attempt`-th send of the current stage.
+    SimTime retry_delay(int attempt);
+    /// Close a pending query successfully: cancel the timeout, record the
+    /// qid for duplicate suppression, sample failover latency, run the cb.
+    void complete_ok(std::uint64_t qid, util::Vec2 loc);
+
+    // Replica-set maintenance (anti-entropy / handoff / sweep).
+    void digest_tick();
+    void send_digest(std::uint32_t grid);
+    void handoff_grid(std::uint32_t grid);
+    void on_digest(const PacketPtr& pkt);
+    void sweep_expired();
+    /// Broadcast the named anonymous rows of `grid` as one kLocReplicate.
+    void push_anon_rows(std::uint32_t grid, const std::vector<std::string>& keys);
+    /// Broadcast one plain row as a kLocReplicate (preserves its timestamp).
+    void push_plain_row(NodeId subject, const PlainRow& row);
 
     Mode mode_;
     GridMap grid_;
@@ -182,12 +236,24 @@ class LocationService {
     Hooks hooks_;
     std::vector<NodeId> contacts_;
     sim::PeriodicTimer update_timer_;
+    sim::PeriodicTimer digest_timer_;
+    sim::PeriodicTimer sweep_timer_;
 
     // Server-side row stores.
     std::map<std::string, AnonRow> anon_store_;   ///< key: hex(index)
     std::unordered_map<NodeId, PlainRow> plain_store_;
 
+    /// Grids this node currently serves (was inside server_radius_m at the
+    /// last digest tick while holding rows); leaving one triggers handoff.
+    std::set<std::uint32_t> serving_;
+    /// Per-grid time of the last digest broadcast (reactive-digest limiter).
+    std::map<std::uint32_t, SimTime> last_digest_;
+
     std::unordered_map<std::uint64_t, PendingQuery> pending_;
+    /// Recently resolved query ids: replies from further replicas of the
+    /// quorum are suppressed (counted, not treated as late). Purged by the
+    /// expiry sweep after entry_ttl.
+    std::map<std::uint64_t, SimTime> resolved_qids_;
     std::uint64_t next_query_id_{1};
     Stats stats_;
 };

@@ -34,5 +34,9 @@ inline constexpr std::uint32_t kLocHeaderBytes = 1 + 1 + 6 + 4 + 16;
 inline constexpr std::uint32_t kPlainUpdateBytes = kLocHeaderBytes + 4 + 16 + 8;
 inline constexpr std::uint32_t kPlainRequestBytes = kLocHeaderBytes + 16 + 8 + 4 + 4;
 inline constexpr std::uint32_t kPlainReplyBytes = kLocHeaderBytes + 8 + 4 + 4 + 16;
+/// Anti-entropy digest: LS header + u16 row count; each row is a key hash
+/// plus an expiry timestamp.
+inline constexpr std::uint32_t kLocDigestHeaderBytes = kLocHeaderBytes + 2;
+inline constexpr std::uint32_t kLocDigestRowBytes = 8 + 8;
 
 }  // namespace geoanon::routing

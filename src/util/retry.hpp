@@ -1,0 +1,56 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace geoanon::util {
+
+/// Deterministic capped exponential backoff with seeded jitter.
+///
+/// Shared retry schedule for every protocol that re-sends after a timeout
+/// (LocationService query reissues, AGFW ack retries). Centralizing the
+/// schedule fixes two classes of bug the ad-hoc versions had:
+///
+///  - synchronized retry storms: with a fixed reissue interval, every
+///    requester that queried a now-dark server grid retries in lockstep and
+///    slams the recovering grid with a wavefront. Jitter (drawn from the
+///    HOST node's seeded Rng, so runs stay bit-reproducible) decorrelates
+///    the retries;
+///  - unbounded doubling: the cap keeps the worst-case delay meaningful on
+///    long outages instead of backing off past the experiment horizon.
+///
+/// The schedule for 1-based attempt `a` is
+///
+///     delay(a) = min(initial * multiplier^(a-1), cap) * (1 + jitter * u)
+///
+/// with u ~ Uniform[0,1) from the caller's Rng. `jitter == 0` draws nothing
+/// from the Rng, so callers that need a bit-identical legacy schedule (AGFW
+/// ack backoff) can adopt the policy without perturbing existing runs.
+class RetryPolicy {
+  public:
+    struct Params {
+        /// Delay before the first retry (attempt 1).
+        SimTime initial{SimTime::seconds(1.0)};
+        /// Geometric growth factor per attempt.
+        double multiplier{2.0};
+        /// Upper bound on the un-jittered delay; zero means uncapped.
+        SimTime cap{};
+        /// Fractional jitter on top of the capped delay (0 = deterministic).
+        double jitter{0.0};
+    };
+
+    /// Delay to wait after the `attempt`-th send (1-based) before retrying.
+    /// Jitter, when enabled, consumes exactly one uniform from `rng`.
+    static SimTime delay(const Params& p, int attempt, Rng& rng) {
+        double ns = static_cast<double>(std::max<std::int64_t>(p.initial.ns(), 0));
+        for (int i = 1; i < attempt; ++i) ns *= p.multiplier;
+        if (p.cap.ns() > 0) ns = std::min(ns, static_cast<double>(p.cap.ns()));
+        if (p.jitter > 0.0) ns *= 1.0 + p.jitter * rng.uniform01();
+        return SimTime::nanos(static_cast<std::int64_t>(ns));
+    }
+};
+
+}  // namespace geoanon::util

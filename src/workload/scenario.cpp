@@ -341,6 +341,14 @@ ScenarioResult ScenarioRunner::aggregate() {
     r.ls.query_fallbacks = reg.counter("ls.query_fallbacks");
     r.ls.late_replies = reg.counter("ls.late_replies");
     r.ls.pending_wiped = reg.counter("ls.pending_wiped");
+    r.ls.store_expired = reg.counter("ls.store.expired");
+    r.ls.digests_sent = reg.counter("ls.replica.digests_sent");
+    r.ls.digest_bytes = reg.counter("ls.replica.digest_bytes");
+    r.ls.repairs_sent = reg.counter("ls.replica.repairs_sent");
+    r.ls.handoffs = reg.counter("ls.replica.handoffs");
+    r.ls.read_repairs = reg.counter("ls.replica.read_repairs");
+    r.ls.duplicates_suppressed = reg.counter("ls.replica.duplicates_suppressed");
+    r.ls.stale_reads = reg.counter("ls.failover.stale_reads");
 
     if (injector_) {
         const auto& fs = injector_->stats();
@@ -348,13 +356,17 @@ ScenarioResult ScenarioRunner::aggregate() {
         r.resilience.node_crashes = reg.counter("fault.node_crashes");
         r.resilience.node_recoveries = reg.counter("fault.node_recoveries");
         r.resilience.als_outages = reg.counter("fault.als_outages");
+        r.resilience.server_flap_cycles = reg.counter("fault.server_flap_cycles");
         r.resilience.frames_lost_loss_burst = reg.counter("fault.frames_lost_loss_burst");
         r.resilience.frames_lost_jam = reg.counter("fault.frames_lost_jam");
+        r.resilience.frames_lost_partition = reg.counter("fault.frames_lost_partition");
         r.resilience.frames_lost_node_down = reg.counter("phy.frames_missed_down");
         r.resilience.ls_pending_wiped = r.ls.pending_wiped;
         r.resilience.recoveries_measured = fs.recovery_s.count();
         r.resilience.recovery_latency_p50_s = fs.recovery_s.percentile(50);
         r.resilience.recovery_latency_p95_s = fs.recovery_s.percentile(95);
+        r.resilience.recovery_outage_p95_s = fs.recovery_outage_s.percentile(95);
+        r.resilience.recovery_flap_p95_s = fs.recovery_flap_s.percentile(95);
     }
 
     if (eavesdropper_) r.adversary = eavesdropper_->report(config_.sim_seconds);

@@ -147,12 +147,18 @@ struct ScenarioResult {
         std::uint64_t frames_lost_node_down{0};
         std::uint64_t frames_lost_loss_burst{0};
         std::uint64_t frames_lost_jam{0};
+        std::uint64_t frames_lost_partition{0};
+        std::uint64_t server_flap_cycles{0};
         std::uint64_t ls_pending_wiped{0};  ///< queries lost to requester crashes
         /// Recovery latency: crash-end until the node's routing state is
         /// warm again (agent probe). Censored samples are excluded.
         std::uint64_t recoveries_measured{0};
         double recovery_latency_p50_s{0.0};
         double recovery_latency_p95_s{0.0};
+        /// Per-class recovery tails: how fast the grid heals after an ALS
+        /// outage vs. under sustained server flapping.
+        double recovery_outage_p95_s{0.0};
+        double recovery_flap_p95_s{0.0};
     };
     Resilience resilience{};
 

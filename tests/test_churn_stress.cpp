@@ -141,6 +141,26 @@ TEST(ChurnStress, AllFaultClassesKeepInvariantsClean) {
         cfg.faults.als_outages.push_back(outage);
         cases.emplace_back("als-outage", cfg);
     }
+    {
+        ScenarioConfig cfg = small();
+        cfg.location_service = routing::LocationService::Mode::kAnonymous;
+        FaultPlan::Partition split;
+        split.boundary_x_m = 750.0;  // mid-area vertical split
+        split.start = SimTime::seconds(15.0);
+        split.heal = SimTime::seconds(40.0);
+        cfg.faults.partitions.push_back(split);
+        cases.emplace_back("partition", cfg);
+    }
+    {
+        ScenarioConfig cfg = small();
+        cfg.location_service = routing::LocationService::Mode::kAnonymous;
+        FaultPlan::ServerFlap flap;
+        flap.target = 3;
+        flap.start = SimTime::seconds(15.0);
+        flap.stop = SimTime::seconds(45.0);
+        cfg.faults.server_flaps.push_back(flap);
+        cases.emplace_back("server-flap", cfg);
+    }
 
     for (auto& [name, cfg] : cases) {
         SCOPED_TRACE(name);

@@ -202,6 +202,43 @@ TEST(Codec, LocPacketsRoundTrip) {
     }
 }
 
+TEST(Codec, LocDigestSizeAndRoundTrip) {
+    Packet p = base_packet(PacketType::kLocDigest);
+    p.grid = 4;
+    p.next_hop_pseudonym = 0x5555;
+    p.dst_loc = {1350, 150};
+    p.ls_digest = {{0x1111111111111111ULL, 5'000'000'000ULL},
+                   {0x2222222222222222ULL, 9'000'000'000ULL},
+                   {0xFFFFFFFFFFFFFFFFULL, 0ULL}};
+    EXPECT_EQ(codec::encoded_size(p),
+              routing::kLocDigestHeaderBytes + 3 * routing::kLocDigestRowBytes);
+    const auto back = codec::decode(codec::encode(p));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->type, PacketType::kLocDigest);
+    EXPECT_EQ(back->grid, 4u);
+    EXPECT_EQ(back->ls_digest, p.ls_digest);
+
+    // Empty digest (a restarted server advertising nothing) is legal.
+    Packet empty = base_packet(PacketType::kLocDigest);
+    empty.grid = 1;
+    EXPECT_EQ(codec::encoded_size(empty), routing::kLocDigestHeaderBytes);
+    const auto eback = codec::decode(codec::encode(empty));
+    ASSERT_TRUE(eback.has_value());
+    EXPECT_TRUE(eback->ls_digest.empty());
+}
+
+TEST(Codec, LocDigestRejectsOverlongRowCount) {
+    Packet p = base_packet(PacketType::kLocDigest);
+    p.ls_digest = {{1, 2}};
+    auto wire = codec::encode(p);
+    // Inflate the u16 row count past the frame end (count sits right before
+    // the 16 row bytes at the tail).
+    const std::size_t count_off = wire.size() - routing::kLocDigestRowBytes - 2;
+    wire[count_off] = 0xFF;
+    wire[count_off + 1] = 0xFF;
+    EXPECT_FALSE(codec::decode(wire).has_value());
+}
+
 TEST(Codec, TraceTrailerRoundTrip) {
     Packet p = base_packet(PacketType::kAgfwAck);
     p.ack_uids = {5};
@@ -320,6 +357,12 @@ TEST(Codec, RoundTripIsIdempotentAcrossAllTypes) {
     {
         Packet p = base_packet(PacketType::kAgfwAck);
         p.ack_uids = {1, 2, 3};
+        packets.push_back(p);
+    }
+    {
+        Packet p = base_packet(PacketType::kLocDigest);
+        p.grid = 2;
+        p.ls_digest = {{0xAA, 1'000'000'000ULL}, {0xBB, 2'000'000'000ULL}};
         packets.push_back(p);
     }
     for (const Packet& p : packets) {

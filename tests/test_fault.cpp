@@ -70,6 +70,12 @@ TEST(FaultPlanBasics, EmptyDetection) {
     FaultPlan churny;
     churny.churn = FaultPlan::Churn{};
     EXPECT_FALSE(churny.empty());
+    FaultPlan split;
+    split.partitions.push_back({});
+    EXPECT_FALSE(split.empty());
+    FaultPlan flappy;
+    flappy.server_flaps.push_back({});
+    EXPECT_FALSE(flappy.empty());
 }
 
 /// Records which pseudonyms the crashed relay announced (attributed by its
@@ -240,6 +246,111 @@ TEST(Fault, GpsNoiseOffsetsReportedPositionDeterministically) {
                            net.network.node(1).true_position();
     const Vec2 this_err = reported - truth;
     EXPECT_NE(this_err.x, other_err.x);
+}
+
+TEST(Fault, PartitionDropsCrossBoundaryFramesUntilHeal) {
+    // Chain 0—1—2 straddling x=300: while the split is active nothing
+    // crosses, so node 2 never hears node 1 and end-to-end data dies at the
+    // boundary. After heal the same flow delivers.
+    FaultNet net({{0, 0}, {200, 0}, {400, 0}});
+    FaultPlan plan;
+    plan.partitions.push_back(
+        {/*boundary_x_m=*/300.0, SimTime{}, /*heal=*/SimTime::seconds(20.0)});
+    FaultInjector injector(net.network, plan);
+    injector.arm();
+
+    net.run_until(5.0);
+    EXPECT_GE(net.agents[0]->ant().size(), 1u);  // same-side hellos decode
+    EXPECT_EQ(net.agents[2]->ant().size(), 0u);  // cross-boundary ones do not
+    net.agents[0]->send_data(2, 0, 0, {});
+    net.run_until(15.0);
+    EXPECT_TRUE(net.deliveries.empty());
+    EXPECT_GT(injector.stats().frames_lost_partition, 0u);
+    EXPECT_EQ(injector.stats().faults_injected, 1u);
+
+    net.run_until(25.0);  // healed: hellos cross again
+    EXPECT_GE(net.agents[2]->ant().size(), 1u);
+    net.agents[0]->send_data(2, 0, 1, {});
+    net.run_until(35.0);
+    ASSERT_EQ(net.deliveries.size(), 1u);
+    EXPECT_EQ(net.deliveries[0].first, 2u);
+}
+
+TEST(Fault, PartitionNeverHealsWhenHealUnset) {
+    FaultNet net({{0, 0}, {200, 0}});
+    FaultPlan plan;
+    plan.partitions.push_back({100.0, SimTime{}, SimTime{}});
+    FaultInjector injector(net.network, plan);
+    injector.arm();
+    net.run_until(30.0);
+    EXPECT_EQ(net.agents[0]->ant().size(), 0u);
+    EXPECT_EQ(net.agents[1]->ant().size(), 0u);
+    EXPECT_GT(injector.stats().frames_lost_partition, 0u);
+}
+
+TEST(Fault, ServerFlapCyclesInRadiusNodesUpAndDown) {
+    // Nodes 1 and 2 sit within 100 m of node 1's position; node 0 is far
+    // outside. Flapping around node 1 must cycle exactly the near pair.
+    FaultNet net({{0, 0}, {600, 0}, {650, 0}});
+    FaultPlan plan;
+    FaultPlan::ServerFlap flap;
+    flap.target = 1;
+    flap.start = SimTime::seconds(2.0);
+    flap.stop = SimTime::seconds(14.0);
+    flap.period = SimTime::seconds(4.0);
+    flap.down_time = SimTime::seconds(2.0);
+    flap.radius_m = 100.0;
+    plan.server_flaps.push_back(flap);
+    FaultInjector injector(net.network, plan);
+    injector.set_home_center(
+        [&](NodeId id) { return net.network.true_position(id); });
+    injector.arm();
+
+    net.run_until(3.0);  // first cycle: both near nodes down, far node up
+    EXPECT_TRUE(injector.is_down(1));
+    EXPECT_TRUE(injector.is_down(2));
+    EXPECT_FALSE(injector.is_down(0));
+    net.run_until(5.0);  // down_time over, period not yet
+    EXPECT_FALSE(injector.is_down(1));
+    net.run_until(30.0);  // stop passed: everyone stays up
+    EXPECT_FALSE(injector.is_down(1));
+    EXPECT_FALSE(injector.is_down(2));
+
+    const auto& s = injector.stats();
+    EXPECT_EQ(s.server_flap_cycles, 3u);  // cycles at t=2, 6, 10 (14 = stop)
+    EXPECT_EQ(s.node_crashes, 6u);
+    EXPECT_EQ(s.node_recoveries, 6u);
+}
+
+TEST(Fault, RecoveryLatencyIsBrokenOutByCause) {
+    // One scheduled crash and one flap cycle, same probe: the per-class
+    // samplers must attribute each recovery to the fault class that caused
+    // the crash, and the combined sampler must hold both.
+    FaultNet net({{0, 0}, {150, 0}});
+    FaultPlan plan;
+    plan.crashes.push_back({1, SimTime::seconds(2.0), SimTime::seconds(3.0)});
+    FaultPlan::ServerFlap flap;
+    flap.target = 0;
+    flap.start = SimTime::seconds(10.0);
+    flap.stop = SimTime::seconds(11.0);  // exactly one cycle
+    flap.period = SimTime::seconds(4.0);
+    flap.down_time = SimTime::seconds(2.0);
+    flap.radius_m = 50.0;
+    plan.server_flaps.push_back(flap);
+    FaultInjector injector(net.network, plan);
+    injector.set_home_center(
+        [&](NodeId id) { return net.network.true_position(id); });
+    injector.set_recovered_probe(
+        [&](NodeId id) { return net.agents[id]->ant().size() > 0; });
+    injector.arm();
+
+    net.run_until(40.0);
+    const auto& s = injector.stats();
+    EXPECT_EQ(s.recovery_crash_s.count(), 1u);
+    EXPECT_EQ(s.recovery_flap_s.count(), 1u);
+    EXPECT_EQ(s.recovery_churn_s.count(), 0u);
+    EXPECT_EQ(s.recovery_outage_s.count(), 0u);
+    EXPECT_EQ(s.recovery_s.count(), 2u);
 }
 
 TEST(Fault, GpsNoiseDoesNotBreakDelivery) {

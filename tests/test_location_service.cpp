@@ -165,7 +165,7 @@ TEST(Als, UnknownTargetFailsCleanly) {
         called = true;
         resolved = loc;
     });
-    net.run_until(40.0);
+    net.run_until(45.0);  // worst-case full-ladder failure is ~22.5 s
     EXPECT_TRUE(called);
     EXPECT_FALSE(resolved.has_value());
 }
@@ -302,7 +302,10 @@ TEST(Als, HeterogeneousPlainAndAnonymousCoexist) {
     std::optional<Vec2> plain_target, anon_target;
     agents[1]->location_service()->resolve(14, [&](auto loc) { plain_target = loc; });
     agents[2]->location_service()->resolve(15, [&](auto loc) { anon_target = loc; });
-    network.sim().run_until(SimTime::seconds(30));
+    // The cross-format resolves walk the degradation ladder (indexed →
+    // index-free → plain subject, with backoff), so give them the worst-case
+    // ladder time (~22.5 s after issue) before asserting.
+    network.sim().run_until(SimTime::seconds(45));
     ASSERT_TRUE(plain_target.has_value());   // even target: plain row
     ASSERT_TRUE(anon_target.has_value());    // odd target: anonymous row
     EXPECT_NEAR(plain_target->x, network.true_position(14).x, 1.0);
@@ -495,6 +498,294 @@ TEST(Als, ReplicaServesWhenPrimaryServerCrashes) {
     EXPECT_NEAR(resolved->x, rig.network.true_position(5).x, 1.0);
     EXPECT_NEAR(resolved->y, rig.network.true_position(5).y, 1.0);
     EXPECT_EQ(rig.agents[0]->location_service()->stats().resolved_ok, 1u);
+}
+
+// ------------------------------------------- replica-set / anti-entropy unit
+
+/// Drives one LocationService directly through its Hooks — no radio, no
+/// agent — so replica maintenance (digests, repair pushes, handoff, sweep)
+/// can be asserted packet by packet. kPlain mode needs no crypto engine.
+struct LsHarness {
+    explicit LsHarness(LocationService::Params p = {})
+        : grid(mobility::Area{1500, 300}, 300.0) {
+        subject = 5;
+        home = grid.home_grid(subject);
+        pos = grid.center_of(home);
+        LocationService::Hooks h;
+        h.route = [this](std::shared_ptr<Packet> pkt) { routed.push_back(std::move(pkt)); };
+        h.local_broadcast = [this](std::shared_ptr<Packet> pkt) {
+            broadcast.push_back(std::move(pkt));
+        };
+        h.my_position = [this] { return pos; };
+        h.my_id = 1;
+        h.sim = &sim;
+        h.rng = &rng;
+        ls = std::make_unique<LocationService>(LocationService::Mode::kPlain, grid, p,
+                                               std::move(h));
+    }
+
+    std::shared_ptr<Packet> plain_update(Vec2 loc) {
+        auto pkt = std::make_shared<Packet>();
+        pkt->type = net::PacketType::kLocUpdate;
+        pkt->grid = home;
+        pkt->dst_loc = grid.center_of(home);
+        pkt->created_at = sim.now();
+        pkt->ls_subject = subject;
+        pkt->ls_subject_loc = loc;
+        pkt->uid = 1000 + broadcast.size();
+        return pkt;
+    }
+
+    std::shared_ptr<Packet> plain_request(NodeId requester, std::uint64_t qid,
+                                          bool assist = false) {
+        auto pkt = std::make_shared<Packet>();
+        pkt->type = net::PacketType::kLocRequest;
+        pkt->grid = home;
+        pkt->dst_loc = grid.center_of(home);
+        pkt->requester_loc = Vec2{10, 10};
+        pkt->created_at = sim.now();
+        pkt->ls_subject = subject;
+        pkt->src_id = requester;
+        pkt->ls_query_id = qid;
+        pkt->ls_assist = assist;
+        pkt->uid = 2000 + broadcast.size();
+        return pkt;
+    }
+
+    std::size_t count_broadcast(net::PacketType t) const {
+        std::size_t n = 0;
+        for (const auto& p : broadcast)
+            if (p->type == t) ++n;
+        return n;
+    }
+
+    void run_until(double s) { sim.run_until(SimTime::seconds(s)); }
+
+    sim::Simulator sim;
+    util::Rng rng{7};
+    GridMap grid;
+    NodeId subject;
+    std::uint32_t home;
+    Vec2 pos;
+    std::vector<std::shared_ptr<Packet>> routed, broadcast;
+    std::unique_ptr<LocationService> ls;
+};
+
+TEST(LsReplica, DigestAdvertisesStoredRows) {
+    LsHarness h;
+    ASSERT_TRUE(h.ls->handle(h.plain_update({100, 100})));
+    h.ls->start();
+    h.run_until(7.0);  // first digest tick at digest_interval + <=25% jitter
+    ASSERT_GE(h.ls->stats().digests_sent, 1u);
+    ASSERT_GE(h.count_broadcast(net::PacketType::kLocDigest), 1u);
+    for (const auto& p : h.broadcast) {
+        if (p->type != net::PacketType::kLocDigest) continue;
+        EXPECT_EQ(p->grid, h.home);
+        ASSERT_EQ(p->ls_digest.size(), 1u);  // hash+expiry only, no location
+        EXPECT_GT(p->ls_digest[0].expires_ns, 0u);
+    }
+    EXPECT_GT(h.ls->stats().digest_bytes, 0u);
+}
+
+TEST(LsReplica, DigestFromPeerLackingRowsTriggersRepairPush) {
+    LsHarness h;
+    ASSERT_TRUE(h.ls->handle(h.plain_update({100, 100})));
+    // A peer replica's digest that advertises nothing: it lacks our row.
+    auto digest = std::make_shared<Packet>();
+    digest->type = net::PacketType::kLocDigest;
+    digest->grid = h.home;
+    digest->ls_assist = true;
+    ASSERT_TRUE(h.ls->handle(digest));
+    EXPECT_EQ(h.ls->stats().repairs_sent, 1u);
+    ASSERT_EQ(h.count_broadcast(net::PacketType::kLocReplicate), 2u);  // store + repair
+    const auto& push = h.broadcast.back();
+    EXPECT_EQ(push->type, net::PacketType::kLocReplicate);
+    EXPECT_EQ(push->ls_subject, h.subject);
+}
+
+TEST(LsReplica, UnknownPeerRowsTriggerReactiveDigest) {
+    // A freshly restarted (empty) replica hears a digest advertising rows it
+    // never saw: it must answer with its own (empty) digest so the sender
+    // pushes the rows — two-round convergence instead of waiting for luck.
+    LsHarness h;
+    auto digest = std::make_shared<Packet>();
+    digest->type = net::PacketType::kLocDigest;
+    digest->grid = h.home;
+    digest->ls_assist = true;
+    digest->ls_digest = {{0xAAAA, 1'000'000'000'000ULL}, {0xBBBB, 1'000'000'000'000ULL}};
+    ASSERT_TRUE(h.ls->handle(digest));
+    EXPECT_EQ(h.ls->stats().digests_sent, 1u);
+    ASSERT_EQ(h.count_broadcast(net::PacketType::kLocDigest), 1u);
+    EXPECT_TRUE(h.broadcast.back()->ls_digest.empty());
+}
+
+TEST(LsReplica, HandoffPushesRowsWhenLeavingServerRadius) {
+    LsHarness h;
+    ASSERT_TRUE(h.ls->handle(h.plain_update({100, 100})));
+    h.ls->start();
+    h.run_until(7.0);  // first digest tick: now serving the home grid
+    ASSERT_GE(h.ls->stats().digests_sent, 1u);
+    h.pos = h.grid.center_of(h.home) + Vec2{500, 0};  // drift out of radius
+    h.run_until(13.0);  // next tick notices the exit
+    EXPECT_EQ(h.ls->stats().handoffs, 1u);
+    const auto& push = h.broadcast.back();
+    EXPECT_EQ(push->type, net::PacketType::kLocReplicate);
+    EXPECT_EQ(push->ls_subject, h.subject);
+    // The row itself survives locally until it expires; we only step down.
+    EXPECT_EQ(h.ls->store_size(), 1u);
+}
+
+TEST(LsStore, SweepDropsExpiredRowsAndCounts) {
+    LocationService::Params p;
+    p.entry_ttl = SimTime::seconds(2.0);
+    p.sweep_interval = SimTime::seconds(1.0);
+    LsHarness h(p);
+    ASSERT_TRUE(h.ls->handle(h.plain_update({100, 100})));
+    ASSERT_EQ(h.ls->store_size(), 1u);
+    h.ls->start();
+    h.run_until(4.0);  // expired at 2 s, swept at the 3 s tick
+    EXPECT_EQ(h.ls->store_size(), 0u);
+    EXPECT_EQ(h.ls->stats().store_expired, 1u);
+}
+
+TEST(LsFailover, StaleReadServesWithinGraceOnly) {
+    LocationService::Params p;
+    p.entry_ttl = SimTime::seconds(2.0);
+    p.stale_grace = SimTime::seconds(10.0);
+    LsHarness h(p);
+    ASSERT_TRUE(h.ls->handle(h.plain_update({100, 100})));
+    // t=5: the row expired at t=2, but grace runs to t=12 — serve it, stale.
+    h.run_until(5.0);
+    ASSERT_TRUE(h.ls->handle(h.plain_request(2, 0x42)));
+    EXPECT_EQ(h.ls->stats().stale_reads, 1u);
+    EXPECT_EQ(h.ls->stats().replies_sent, 1u);
+    ASSERT_FALSE(h.routed.empty());
+    EXPECT_EQ(h.routed.back()->type, net::PacketType::kLocReply);
+    EXPECT_EQ(h.routed.back()->ls_subject_loc, (Vec2{100, 100}));
+    // t=15: past expiry + grace — a miss, not a stale serve.
+    h.run_until(15.0);
+    ASSERT_TRUE(h.ls->handle(h.plain_request(2, 0x43)));
+    EXPECT_EQ(h.ls->stats().stale_reads, 1u);
+    EXPECT_EQ(h.ls->stats().replies_sent, 1u);
+    EXPECT_GE(h.ls->stats().store_misses, 1u);
+}
+
+TEST(LsFailover, AssistedServeReadRepairsTheRow) {
+    LsHarness h;
+    ASSERT_TRUE(h.ls->handle(h.plain_update({100, 100})));
+    const std::size_t replicas_before =
+        h.count_broadcast(net::PacketType::kLocReplicate);
+    // An assist request means a nearer replica already missed: serving it
+    // must also re-replicate the row so that replica heals.
+    ASSERT_TRUE(h.ls->handle(h.plain_request(2, 0x77, /*assist=*/true)));
+    EXPECT_EQ(h.ls->stats().read_repairs, 1u);
+    EXPECT_EQ(h.count_broadcast(net::PacketType::kLocReplicate), replicas_before + 1);
+    EXPECT_EQ(h.broadcast.back()->ls_subject, h.subject);
+}
+
+TEST(LsFailover, DuplicateQuorumRepliesAreSuppressed) {
+    LsHarness h;
+    int calls = 0;
+    std::optional<Vec2> got;
+    h.ls->resolve(h.subject, [&](std::optional<Vec2> loc) {
+        ++calls;
+        got = loc;
+    });
+    const std::uint64_t qid = (1ULL << 32) | 1;  // requester id 1, first query
+    auto reply = std::make_shared<Packet>();
+    reply->type = net::PacketType::kLocReply;
+    reply->dst_id = 1;
+    reply->ls_subject = h.subject;
+    reply->ls_subject_loc = {300, 150};
+    reply->ls_query_id = qid;
+    ASSERT_TRUE(h.ls->handle(reply));
+    ASSERT_EQ(calls, 1);
+    ASSERT_TRUE(got.has_value());
+    // A second replica of the quorum answers the same query id: suppressed,
+    // not "late", and the callback does not fire again.
+    auto dup = std::make_shared<Packet>(*reply);
+    ASSERT_TRUE(h.ls->handle(dup));
+    EXPECT_EQ(calls, 1);
+    EXPECT_EQ(h.ls->stats().duplicates_suppressed, 1u);
+    EXPECT_EQ(h.ls->stats().late_replies, 0u);
+    EXPECT_EQ(h.ls->stats().resolved_ok, 1u);
+}
+
+TEST(LsFailover, CrashWipePendingThenReplyCountsLate) {
+    // Requester crash interleaving: resolve, crash (reset wipes pending),
+    // then the reply arrives — it must count as late, never fire the wiped
+    // callback, and a post-restart resolve must work normally.
+    LsHarness h;
+    int calls = 0;
+    h.ls->resolve(h.subject, [&](std::optional<Vec2>) { ++calls; });
+    h.ls->reset();
+    EXPECT_EQ(h.ls->stats().pending_wiped, 1u);
+    const std::uint64_t qid = (1ULL << 32) | 1;
+    auto reply = std::make_shared<Packet>();
+    reply->type = net::PacketType::kLocReply;
+    reply->dst_id = 1;
+    reply->ls_subject = h.subject;
+    reply->ls_subject_loc = {300, 150};
+    reply->ls_query_id = qid;
+    ASSERT_TRUE(h.ls->handle(reply));
+    EXPECT_EQ(calls, 0);
+    EXPECT_EQ(h.ls->stats().late_replies, 1u);
+    // Restarted node resolves again with a fresh query id; the old reply
+    // cannot satisfy it.
+    ASSERT_TRUE(h.ls->handle(h.plain_update({100, 100})));
+    std::optional<Vec2> got;
+    h.ls->resolve(h.subject, [&](std::optional<Vec2> loc) { got = loc; });
+    auto reply2 = std::make_shared<Packet>(*reply);
+    reply2->ls_query_id = (1ULL << 32) | 2;
+    ASSERT_TRUE(h.ls->handle(reply2));
+    ASSERT_TRUE(got.has_value());
+}
+
+TEST(LsFailover, StuckDigestDiesQuietly) {
+    LsHarness h;
+    auto digest = std::make_shared<Packet>();
+    digest->type = net::PacketType::kLocDigest;
+    digest->grid = h.home;
+    EXPECT_TRUE(h.ls->handle_stuck(digest));  // one-hop gossip: consumed, no relay
+    EXPECT_TRUE(h.broadcast.empty());
+    EXPECT_TRUE(h.routed.empty());
+}
+
+// --------------------------------------------- anti-entropy, end to end
+
+TEST(Als, RestartedServerIsRepairedByAntiEntropy) {
+    // Crash-and-restart one in-radius server of the target's home grid. Its
+    // store comes back empty; the surviving replicas' periodic digests must
+    // repair it within a couple of gossip rounds.
+    AlsNet net(LocationService::Mode::kAnonymous);
+    net.run_until(20.0);
+
+    const GridMap grid(mobility::Area{1500, 300}, 300.0);
+    const Vec2 center = grid.center_of(grid.home_grid(15));
+    NodeId victim = net::kInvalidNode;
+    for (NodeId id = 0; id < static_cast<NodeId>(net.agents.size()); ++id) {
+        if (util::distance(net.network.true_position(id), center) <= 200.0 &&
+            net.agents[id]->location_service()->store_size() > 0) {
+            victim = id;
+            break;
+        }
+    }
+    ASSERT_NE(victim, net::kInvalidNode);
+
+    net.network.node(victim).set_up(false);
+    net.run_until(21.0);
+    net.network.node(victim).set_up(true);  // restart wipes the LS store
+    EXPECT_EQ(net.agents[victim]->location_service()->store_size(), 0u);
+
+    net.run_until(40.0);  // several digest intervals (5 s each)
+    EXPECT_GT(net.agents[victim]->location_service()->store_size(), 0u);
+    std::uint64_t digests = 0, repairs = 0;
+    for (auto* a : net.agents) {
+        digests += a->location_service()->stats().digests_sent;
+        repairs += a->location_service()->stats().repairs_sent;
+    }
+    EXPECT_GT(digests, 0u);
+    EXPECT_GT(repairs, 0u);
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 #include <set>
 
 #include "util/bytes.hpp"
+#include "util/retry.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -371,6 +372,82 @@ TEST(Table, RendersAlignedRows) {
 TEST(Table, FmtDouble) {
     EXPECT_EQ(fmt_double(1.23456, 2), "1.23");
     EXPECT_EQ(fmt_double(-0.5, 3), "-0.500");
+}
+
+// ---------------------------------------------------------------- retry
+
+TEST(RetryPolicy, GrowsGeometricallyWithoutJitter) {
+    Rng rng(1);
+    const RetryPolicy::Params p{.initial = SimTime::seconds(2.0),
+                                .multiplier = 2.0,
+                                .cap = SimTime{},
+                                .jitter = 0.0};
+    EXPECT_EQ(RetryPolicy::delay(p, 1, rng), SimTime::seconds(2.0));
+    EXPECT_EQ(RetryPolicy::delay(p, 2, rng), SimTime::seconds(4.0));
+    EXPECT_EQ(RetryPolicy::delay(p, 3, rng), SimTime::seconds(8.0));
+    EXPECT_EQ(RetryPolicy::delay(p, 4, rng), SimTime::seconds(16.0));
+}
+
+TEST(RetryPolicy, CapBoundsTheSchedule) {
+    Rng rng(1);
+    const RetryPolicy::Params p{.initial = SimTime::seconds(2.0),
+                                .multiplier = 2.0,
+                                .cap = SimTime::seconds(5.0),
+                                .jitter = 0.0};
+    EXPECT_EQ(RetryPolicy::delay(p, 1, rng), SimTime::seconds(2.0));
+    EXPECT_EQ(RetryPolicy::delay(p, 2, rng), SimTime::seconds(4.0));
+    EXPECT_EQ(RetryPolicy::delay(p, 3, rng), SimTime::seconds(5.0));
+    EXPECT_EQ(RetryPolicy::delay(p, 10, rng), SimTime::seconds(5.0));
+}
+
+TEST(RetryPolicy, JitterStaysWithinFractionAndIsSeeded) {
+    const RetryPolicy::Params p{.initial = SimTime::seconds(1.0),
+                                .multiplier = 2.0,
+                                .cap = SimTime::seconds(8.0),
+                                .jitter = 0.25};
+    Rng a(42), b(42), c(43);
+    bool varied = false;
+    for (int attempt = 1; attempt <= 8; ++attempt) {
+        const SimTime da = RetryPolicy::delay(p, attempt, a);
+        const SimTime db = RetryPolicy::delay(p, attempt, b);
+        const SimTime base = RetryPolicy::delay(
+            {.initial = p.initial, .multiplier = p.multiplier, .cap = p.cap,
+             .jitter = 0.0},
+            attempt, c);
+        EXPECT_EQ(da, db);  // same seed, same schedule
+        EXPECT_GE(da, base);
+        EXPECT_LT(da.ns(), static_cast<std::int64_t>(1.25 * base.ns()) + 1);
+        if (da != base) varied = true;
+    }
+    EXPECT_TRUE(varied);
+}
+
+TEST(RetryPolicy, ZeroJitterConsumesNoRandomness) {
+    // Callers porting a legacy fixed schedule (AGFW ack backoff) must be able
+    // to adopt the policy without perturbing their Rng stream.
+    Rng used(7), untouched(7);
+    const RetryPolicy::Params p{.initial = SimTime::millis(40),
+                                .multiplier = 2.0,
+                                .cap = SimTime::millis(640),
+                                .jitter = 0.0};
+    for (int attempt = 1; attempt <= 6; ++attempt)
+        (void)RetryPolicy::delay(p, attempt, used);
+    EXPECT_EQ(used.next_u64(), untouched.next_u64());
+}
+
+TEST(RetryPolicy, MatchesLegacyAgfwShiftSchedule) {
+    // The AGFW ack timer used ack_timeout * 2^min(attempts, 4); the policy
+    // with cap = 16 * initial reproduces it bit-exactly.
+    Rng rng(1);
+    const SimTime ack = SimTime::millis(40);
+    const RetryPolicy::Params p{.initial = ack,
+                                .multiplier = 2.0,
+                                .cap = ack * 16,
+                                .jitter = 0.0};
+    for (int attempts = 0; attempts <= 8; ++attempts) {
+        const SimTime legacy = ack * (1LL << std::min(attempts, 4));
+        EXPECT_EQ(RetryPolicy::delay(p, attempts + 1, rng), legacy) << attempts;
+    }
 }
 
 }  // namespace
