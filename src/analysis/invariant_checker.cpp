@@ -148,10 +148,10 @@ void InvariantChecker::record_hello(const Packet& pkt) {
     // node's current one; remember the owner for the two-latest check.
     Announce a;
     a.at = network_.sim().now();
-    for (const auto& node : network_.nodes()) {
-        if (const auto* agent = as_agfw(*node);
+    for (auto& node : network_.nodes()) {
+        if (const auto* agent = as_agfw(node);
             agent && agent->pseudonyms().current() == pkt.hello_pseudonym) {
-            a.owner = node->id();
+            a.owner = node.id();
             break;
         }
     }
@@ -197,11 +197,11 @@ void InvariantChecker::sweep() {
     // purge path is broken.
     const SimTime purge_slack = params_.hello_interval * 2;
 
-    for (const auto& node : network_.nodes()) {
+    for (auto& node : network_.nodes()) {
         // A crashed node runs no purge tick; its frozen table is not live
         // protocol state (it is wiped on recovery) and is not audited.
-        if (!node->up()) continue;
-        const auto* agent = as_agfw(*node);
+        if (!node.up()) continue;
+        const auto* agent = as_agfw(node);
         if (!agent) continue;
         for (const auto& e : agent->ant().entries()) {
             ++counters_.ant_entries_checked;

@@ -156,7 +156,7 @@ void AgfwAgent::send_hello() {
     ant_.purge(node_.sim().now());
 
     // geoanon-lint: allow(hot-alloc) -- packets are immutable shared-ownership objects by design; a packet arena is ROADMAP item 1, not a per-call fix
-    auto pkt = std::make_shared<Packet>();
+    auto pkt = net::make_packet();
     pkt->type = net::PacketType::kAgfwHello;
     pkt->hello_pseudonym = pseudonyms_.rotate();
     GEOANON_TRACE(node_.sim(), .type = obs::EventType::kPseudonymRotated,
@@ -284,7 +284,7 @@ void AgfwAgent::send_data(NodeId dst, net::FlowId flow, std::uint32_t seq,
         payload.f64(my_loc.y);
         payload.u64(0x54524150444F4F52ULL);  // tag_d: "you are the destination"
 
-        auto pkt = std::make_shared<Packet>();
+        auto pkt = net::make_packet();
         pkt->type = net::PacketType::kAgfwData;
         pkt->flow = flow;
         pkt->seq = seq;
@@ -568,7 +568,7 @@ void AgfwAgent::send_ack(std::uint64_t uid) {
 void AgfwAgent::flush_ack_batch() {
     ack_flush_event_ = sim::kInvalidEvent;
     if (ack_batch_.empty()) return;
-    auto ack = std::make_shared<Packet>();
+    auto ack = net::make_packet();
     ack->type = net::PacketType::kAgfwAck;
     ack->ack_uids = std::move(ack_batch_);
     ack_batch_.clear();

@@ -187,11 +187,11 @@ void FaultInjector::install_gps_noise() {
     GEOANON_TRACE(network_.sim(), .type = obs::EventType::kFaultFired,
                   .detail = static_cast<std::uint64_t>(obs::FaultKind::kGpsNoise));
     for (auto& node : network_.nodes()) {
-        const NodeId id = node->id();
+        const NodeId id = node.id();
         // Deterministic at any query time: the offset is a pure function of
         // (seed, node, epoch index) — Rng streams can't be sampled at
         // arbitrary times without perturbing replay.
-        node->set_gps_error([g, id, seed = plan_.seed](SimTime now) -> Vec2 {
+        node.set_gps_error([g, id, seed = plan_.seed](SimTime now) -> Vec2 {
             if (now < g.start) return {};
             if (g.stop > SimTime{} && now >= g.stop) return {};
             const std::uint64_t epoch =

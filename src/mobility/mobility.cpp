@@ -46,21 +46,23 @@ const RandomWaypoint::Segment& RandomWaypoint::segment_for(SimTime t) {
     return *it;
 }
 
+// position_at/velocity_at evaluate through the same sample_* helpers the
+// EngineState SoA tables use, so the cached fast path and the virtual-call
+// path are bit-identical by construction.
 Vec2 RandomWaypoint::position_at(SimTime t) {
     const Segment& s = segment_for(t);
-    if (t <= s.move_start) return s.from;
-    const double travel = (s.end - s.move_start).to_seconds();
-    if (travel <= 0.0 || t >= s.end) return s.to;
-    const double frac = (t - s.move_start).to_seconds() / travel;
-    return s.from + (s.to - s.from) * frac;
+    return sample_position(MotionSample{s.start, s.move_start, s.end, s.from, s.to}, t);
 }
 
 Vec2 RandomWaypoint::velocity_at(SimTime t) {
     const Segment& s = segment_for(t);
-    if (t <= s.move_start || t >= s.end) return {};
-    const double travel = (s.end - s.move_start).to_seconds();
-    if (travel <= 0.0) return {};
-    return (s.to - s.from) / travel;
+    return sample_velocity(MotionSample{s.start, s.move_start, s.end, s.from, s.to}, t);
+}
+
+bool RandomWaypoint::motion_at(SimTime t, MotionSample& out) {
+    const Segment& s = segment_for(t);
+    out = MotionSample{s.start, s.move_start, s.end, s.from, s.to};
+    return true;
 }
 
 std::vector<Vec2> uniform_placement(const Area& area, std::size_t count, Rng& rng) {

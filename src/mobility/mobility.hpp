@@ -27,6 +27,43 @@ struct Area {
     }
 };
 
+/// One piecewise-linear motion leg, snapshotted for cache-friendly
+/// re-evaluation outside the model: the node pauses at `from` until
+/// `move_start`, then travels linearly to `to`, arriving at `end`. The
+/// sample answers queries for any t in [start, end); at or past `end` it is
+/// stale and the caller must fetch a fresh one.
+///
+/// phy::EngineState keeps these in structure-of-arrays rows so the hello
+/// sweep and grid queries evaluate positions from contiguous memory instead
+/// of a virtual call + segment binary search per node per query.
+struct MotionSample {
+    SimTime start{};       // sample valid from here
+    SimTime move_start{};  // travel begins (== start when not pausing)
+    SimTime end{};         // arrival at `to`; stale at and after this time
+    Vec2 from{};
+    Vec2 to{};
+};
+
+/// Evaluate a sample exactly as RandomWaypoint::position_at always has.
+/// Shared by the model and the SoA fast path so the two are bit-identical by
+/// construction (same expressions, same operation order — floating point is
+/// not associative, so duplicating the formula would risk drift).
+inline Vec2 sample_position(const MotionSample& s, SimTime t) {
+    if (t <= s.move_start) return s.from;
+    const double travel = (s.end - s.move_start).to_seconds();
+    if (travel <= 0.0 || t >= s.end) return s.to;
+    const double frac = (t - s.move_start).to_seconds() / travel;
+    return s.from + (s.to - s.from) * frac;
+}
+
+/// Companion of sample_position for velocities (zero while paused).
+inline Vec2 sample_velocity(const MotionSample& s, SimTime t) {
+    if (t <= s.move_start || t >= s.end) return {};
+    const double travel = (s.end - s.move_start).to_seconds();
+    if (travel <= 0.0) return {};
+    return (s.to - s.from) / travel;
+}
+
 /// Position-over-time model for one node. Implementations must be
 /// deterministic functions of their seed; queries may come in any time order.
 class MobilityModel {
@@ -37,6 +74,16 @@ class MobilityModel {
     /// Velocity vector at `t` (zero when paused); lets forwarding strategies
     /// exploit predictable motion (§3.1.1).
     virtual Vec2 velocity_at(SimTime t) = 0;
+    /// Fill `out` with the motion leg containing `t` and return true, or
+    /// return false if the model cannot describe itself piecewise-linearly
+    /// (callers then fall back to per-query position_at). Models that return
+    /// true guarantee sample_position(out, u) == position_at(u) for every u
+    /// in [out.start, out.end).
+    virtual bool motion_at(SimTime t, MotionSample& out) {
+        (void)t;
+        (void)out;
+        return false;
+    }
 };
 
 /// Node that never moves.
@@ -45,6 +92,12 @@ class StationaryMobility final : public MobilityModel {
     explicit StationaryMobility(Vec2 pos) : pos_(pos) {}
     Vec2 position_at(SimTime) override { return pos_; }
     Vec2 velocity_at(SimTime) override { return {}; }
+    bool motion_at(SimTime, MotionSample& out) override {
+        // One degenerate leg covering all of time: from == to pins the
+        // position and zeroes the velocity.
+        out = MotionSample{SimTime::zero(), SimTime::zero(), SimTime::max(), pos_, pos_};
+        return true;
+    }
 
   private:
     Vec2 pos_;
@@ -66,6 +119,7 @@ class RandomWaypoint final : public MobilityModel {
 
     Vec2 position_at(SimTime t) override;
     Vec2 velocity_at(SimTime t) override;
+    bool motion_at(SimTime t, MotionSample& out) override;
 
   private:
     /// One leg: pause at `from` until move_start, then travel to `to`,

@@ -10,26 +10,26 @@ Network::Network(phy::PhyParams phy_params, std::uint64_t seed)
 Node& Network::add_node(std::unique_ptr<mobility::MobilityModel> mobility,
                         mac::MacParams mac_params) {
     const NodeId id = static_cast<NodeId>(nodes_.size());
-    nodes_.push_back(
-        std::make_unique<Node>(sim_, channel_, id, std::move(mobility), mac_params,
-                               rng_.fork()));
-    return *nodes_.back();
+    return nodes_.emplace(sim_, channel_, id, std::move(mobility), mac_params, rng_.fork());
 }
 
 util::Vec2 Network::true_position(NodeId id) const {
-    return nodes_.at(id)->mobility().position_at(sim_.now());
+    // Routed through the radio's EngineState row: same value as asking the
+    // mobility model (bit-identical evaluation), but served from the cached
+    // motion leg.
+    return nodes_.at(id).true_position();
 }
 
 void Network::start_agents() {
     for (auto& n : nodes_)
-        if (n->has_agent()) n->agent().start();
+        if (n.has_agent()) n.agent().start();
 }
 
 void Network::publish_metrics(obs::MetricsRegistry& reg) const {
     channel_.publish_metrics(reg);
     for (const auto& n : nodes_) {
-        n->radio().publish_metrics(reg);
-        n->mac().publish_metrics(reg);
+        n.radio().publish_metrics(reg);
+        n.mac().publish_metrics(reg);
     }
 }
 

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "net/node.hpp"
+#include "net/node_store.hpp"
 #include "phy/channel.hpp"
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
@@ -26,10 +27,11 @@ class Network {
     Node& add_node(std::unique_ptr<mobility::MobilityModel> mobility,
                    mac::MacParams mac_params);
 
-    Node& node(NodeId id) { return *nodes_.at(id); }
-    const Node& node(NodeId id) const { return *nodes_.at(id); }
+    Node& node(NodeId id) { return nodes_.at(id); }
+    const Node& node(NodeId id) const { return nodes_.at(id); }
     std::size_t size() const { return nodes_.size(); }
-    std::vector<std::unique_ptr<Node>>& nodes() { return nodes_; }
+    NodeStore& nodes() { return nodes_; }
+    const NodeStore& nodes() const { return nodes_; }
 
     /// Location oracle: the true current position of `id`.
     util::Vec2 true_position(NodeId id) const;
@@ -49,7 +51,10 @@ class Network {
     util::Rng rng_;
     sim::Simulator sim_;
     phy::Channel channel_;
-    std::vector<std::unique_ptr<Node>> nodes_;
+    /// Chunked arena: nodes are contiguous in id order with stable addresses
+    /// (FaultInjector, InvariantChecker and obs taps hold Node/Radio
+    /// references across the whole run).
+    NodeStore nodes_;
 };
 
 }  // namespace geoanon::net

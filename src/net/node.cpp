@@ -15,7 +15,7 @@ Node::Node(sim::Simulator& sim, phy::Channel& channel, NodeId id,
       id_(id),
       mobility_(std::move(mobility)),
       rng_(rng),
-      radio_(sim, channel, [this] { return mobility_->position_at(sim_.now()); }),
+      radio_(sim, channel, *mobility_),
       mac_(sim, radio_, mac_addr_for(id), mac_params, rng_.fork()) {
     radio_.set_trace_node(id_);
     mac_.set_trace_node(id_);

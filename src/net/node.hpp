@@ -58,17 +58,19 @@ class Node {
     /// true physical position (see the constructor).
     // geoanon: source(gps)
     util::Vec2 position() const {
-        const util::Vec2 p = mobility_->position_at(sim_.now());
+        const util::Vec2 p = radio_.position();
         return gps_error_ ? p + gps_error_(sim_.now()) : p;
     }
     // geoanon: source(gps)
-    util::Vec2 true_position() const { return mobility_->position_at(sim_.now()); }
+    util::Vec2 true_position() const { return radio_.position(); }
     // geoanon: source(gps)
-    util::Vec2 velocity() const { return mobility_->velocity_at(sim_.now()); }
+    util::Vec2 velocity() const { return radio_.velocity(); }
 
     sim::Simulator& sim() { return sim_; }
     mac::Mac80211& mac() { return mac_; }
+    const mac::Mac80211& mac() const { return mac_; }
     phy::Radio& radio() { return radio_; }
+    const phy::Radio& radio() const { return radio_; }
     util::Rng& rng() { return rng_; }
     mobility::MobilityModel& mobility() { return *mobility_; }
 

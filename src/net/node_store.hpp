@@ -1,0 +1,112 @@
+#pragma once
+
+#include <cstddef>
+#include <iterator>
+#include <memory>
+#include <stdexcept>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "net/node.hpp"
+
+namespace geoanon::net {
+
+/// Chunked arena owning every node in a Network. Nodes are constructed in
+/// place in fixed-size blocks, so
+///   - addresses are stable for the lifetime of the store (Node is neither
+///     movable nor copyable: its Radio, MAC and agent hold back-references,
+///     and the channel keeps a Radio* per registration),
+///   - node `i` lives at a computable offset — the store is indexed by
+///     NodeId with no per-node pointer chase through a unique_ptr array,
+///   - a 100k–1M-node population costs one allocation per kBlockSize nodes
+///     instead of one per node, and neighbors in id order are neighbors in
+///     memory.
+class NodeStore {
+  public:
+    /// Nodes per block. 64 keeps each block comfortably inside a few pages
+    /// while amortizing allocator traffic 64x.
+    static constexpr std::size_t kBlockSize = 64;
+
+    NodeStore() = default;
+    NodeStore(const NodeStore&) = delete;
+    NodeStore& operator=(const NodeStore&) = delete;
+    ~NodeStore() {
+        // Destroy in reverse construction order, then release the raw blocks.
+        for (std::size_t i = size_; i-- > 0;) slot(i)->~Node();
+        for (Node* block : blocks_) std::allocator<Node>().deallocate(block, kBlockSize);
+    }
+
+    /// Construct a node in place; its address never changes afterwards.
+    template <typename... Args>
+    Node& emplace(Args&&... args) {
+        if (size_ == blocks_.size() * kBlockSize)
+            blocks_.push_back(std::allocator<Node>().allocate(kBlockSize));
+        Node* p = slot(size_);
+        ::new (static_cast<void*>(p)) Node(std::forward<Args>(args)...);
+        ++size_;
+        return *p;
+    }
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    Node& operator[](std::size_t i) { return *slot(i); }
+    const Node& operator[](std::size_t i) const { return *slot(i); }
+    /// Bounds-checked access (mirrors the std::vector::at the store replaced).
+    Node& at(std::size_t i) {
+        if (i >= size_) throw std::out_of_range("NodeStore::at");
+        return *slot(i);
+    }
+    const Node& at(std::size_t i) const {
+        if (i >= size_) throw std::out_of_range("NodeStore::at");
+        return *slot(i);
+    }
+
+    /// Forward iterator yielding Node& in id order.
+    template <bool Const>
+    class Iter {
+      public:
+        using Store = std::conditional_t<Const, const NodeStore, NodeStore>;
+        using value_type = Node;
+        using reference = std::conditional_t<Const, const Node&, Node&>;
+        using pointer = std::conditional_t<Const, const Node*, Node*>;
+        using difference_type = std::ptrdiff_t;
+        using iterator_category = std::forward_iterator_tag;
+
+        Iter() = default;
+        Iter(Store* store, std::size_t i) : store_(store), i_(i) {}
+        reference operator*() const { return (*store_)[i_]; }
+        pointer operator->() const { return &(*store_)[i_]; }
+        Iter& operator++() {
+            ++i_;
+            return *this;
+        }
+        Iter operator++(int) {
+            Iter tmp = *this;
+            ++i_;
+            return tmp;
+        }
+        bool operator==(const Iter&) const = default;
+
+      private:
+        Store* store_{nullptr};
+        std::size_t i_{0};
+    };
+
+    using iterator = Iter<false>;
+    using const_iterator = Iter<true>;
+
+    iterator begin() { return {this, 0}; }
+    iterator end() { return {this, size_}; }
+    const_iterator begin() const { return {this, 0}; }
+    const_iterator end() const { return {this, size_}; }
+
+  private:
+    Node* slot(std::size_t i) const { return blocks_[i / kBlockSize] + i % kBlockSize; }
+
+    std::vector<Node*> blocks_;
+    std::size_t size_{0};
+};
+
+}  // namespace geoanon::net

@@ -127,9 +127,85 @@ struct Packet {
 
 using PacketPtr = std::shared_ptr<const Packet>;
 
-/// Copy-for-modification helper (forwarders stamp a new next hop).
+namespace pool_detail {
+
+/// Thread-local freelist of fixed-size blocks backing allocate_shared
+/// packets. allocate_shared<Packet> makes exactly one allocation (control
+/// block + Packet fused), always of the same size; the first allocation
+/// fixes the size class and every retired block is kept for reuse, so
+/// steady-state packet traffic does zero heap allocations for envelopes.
+/// Requests of any other size (there are none in practice) fall through to
+/// operator new untouched.
+struct FreeList {
+    void* head{nullptr};
+    std::size_t block_bytes{0};
+    ~FreeList() {
+        while (head != nullptr) {
+            void* next = *static_cast<void**>(head);
+            ::operator delete(head);
+            head = next;
+        }
+    }
+};
+
+inline FreeList& free_list() {
+    thread_local FreeList fl;
+    return fl;
+}
+
+// geoanon: hot
+inline void* pool_alloc(std::size_t bytes) {
+    FreeList& fl = free_list();
+    if (fl.block_bytes == 0) fl.block_bytes = bytes;
+    if (bytes == fl.block_bytes && fl.head != nullptr) {
+        void* p = fl.head;
+        fl.head = *static_cast<void**>(p);
+        return p;
+    }
+    // geoanon-lint: allow(hot-alloc) -- cold miss: only until the freelist reaches the peak live packet count
+    return ::operator new(bytes);
+}
+
+// geoanon: hot
+inline void pool_free(void* p, std::size_t bytes) noexcept {
+    FreeList& fl = free_list();
+    if (bytes == fl.block_bytes) {
+        *static_cast<void**>(p) = fl.head;
+        fl.head = p;
+        return;
+    }
+    ::operator delete(p);
+}
+
+template <typename T>
+struct PoolAllocator {
+    using value_type = T;
+    PoolAllocator() = default;
+    template <typename U>
+    PoolAllocator(const PoolAllocator<U>&) {}  // NOLINT(google-explicit-constructor)
+    T* allocate(std::size_t n) {
+        static_assert(alignof(T) <= __STDCPP_DEFAULT_NEW_ALIGNMENT__,
+                      "freelist blocks carry default new alignment only");
+        return static_cast<T*>(pool_alloc(n * sizeof(T)));
+    }
+    void deallocate(T* p, std::size_t n) noexcept { pool_free(p, n * sizeof(T)); }
+    friend bool operator==(const PoolAllocator&, const PoolAllocator&) { return true; }
+};
+
+}  // namespace pool_detail
+
+/// Build a fresh packet from the pool (the protocols' replacement for
+/// make_shared<Packet>). Field defaults match value-initialization, so this
+/// is a drop-in swap; pooling changes only where the memory comes from,
+/// never the simulation outcome.
+inline std::shared_ptr<Packet> make_packet() {
+    return std::allocate_shared<Packet>(pool_detail::PoolAllocator<Packet>{});
+}
+
+/// Copy-for-modification helper (forwarders stamp a new next hop); pooled
+/// like make_packet().
 inline std::shared_ptr<Packet> clone_packet(const Packet& p) {
-    return std::make_shared<Packet>(p);
+    return std::allocate_shared<Packet>(pool_detail::PoolAllocator<Packet>{}, p);
 }
 
 }  // namespace geoanon::net

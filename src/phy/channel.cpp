@@ -15,11 +15,24 @@ std::uint64_t frame_uid(const Frame& f) { return f.payload ? f.payload->uid : 0;
 }  // namespace
 
 Radio::Radio(sim::Simulator& sim, Channel& channel, PositionFn position)
-    : sim_(sim), channel_(channel), position_(std::move(position)) {
-    channel_.register_radio(this);
+    : sim_(sim), channel_(channel) {
+    index_ = channel_.register_radio(this, std::move(position));
+}
+
+Radio::Radio(sim::Simulator& sim, Channel& channel, mobility::MobilityModel& model)
+    : sim_(sim), channel_(channel) {
+    index_ = channel_.register_radio(this, &model);
 }
 
 const PhyParams& Radio::phy_params() const { return channel_.params(); }
+
+Vec2 Radio::position() const { return channel_.state_.position(index_, sim_.now()); }
+
+Vec2 Radio::velocity() const { return channel_.state_.velocity(index_, sim_.now()); }
+
+void Radio::set_enabled(bool enabled) { channel_.state_.set_up(index_, enabled); }
+
+bool Radio::enabled() const { return channel_.state_.up(index_); }
 
 void Radio::set_mac_hooks(std::function<void()> on_busy, std::function<void()> on_idle,
                           std::function<void(const Frame&)> on_rx) {
@@ -87,7 +100,7 @@ void Radio::energy_end(std::uint64_t tx_id) {
         Frame frame = std::move(it->second.frame);
         receptions_.erase(it);
         if (ok) {
-            if (!enabled_) {
+            if (!enabled()) {
                 ++stats_.frames_missed_down;
                 GEOANON_TRACE(sim_, .type = obs::EventType::kPhyDrop,
                               .cause = obs::DropCause::kNodeDown, .node = trace_node_,
@@ -144,13 +157,24 @@ std::uint64_t Channel::cell_key(Cell c) {
            static_cast<std::uint64_t>(static_cast<std::uint32_t>(c.y));
 }
 
-void Channel::register_radio(Radio* radio) {
+EngineState::Index Channel::register_radio(Radio* radio, EngineState::PositionFn fn) {
+    const EngineState::Index idx = state_.add_row(std::move(fn));
+    finish_register(radio);
+    return idx;
+}
+
+EngineState::Index Channel::register_radio(Radio* radio, mobility::MobilityModel* model) {
+    const EngineState::Index idx = state_.add_row(model);
+    finish_register(radio);
+    return idx;
+}
+
+void Channel::finish_register(Radio* radio) {
     radios_.push_back(radio);
-    radio_cells_.push_back({});
-    radio_bucketed_.push_back(false);
-    // The radio's PositionFn may close over a not-yet-constructed owner, so
-    // don't sample it here; the radio stays a candidate for every query
-    // until the next sweep places it in a bucket.
+    assert(radios_.size() == state_.size() && "state rows mirror registration order");
+    // Don't sample the new row's position here: a PositionFn may close over
+    // a not-yet-constructed owner. The radio stays a candidate for every
+    // query until the next sweep places it in a bucket.
     unbucketed_.push_back(static_cast<std::uint32_t>(radios_.size() - 1));
 }
 
@@ -159,16 +183,20 @@ void Channel::rebucket_if_stale() {
     if (swept_once_ && now - last_sweep_ < params_.grid_rebucket_interval) return;
     swept_once_ = true;
     last_sweep_ = now;
+    // Cache-linear sweep over the SoA rows: position legs, cell coords and
+    // bucketed flags are all contiguous arrays in EngineState.
     for (std::size_t i = 0; i < radios_.size(); ++i) {
-        const Cell c = cell_of(radios_[i]->position());
-        if (radio_bucketed_[i]) {
-            if (c == radio_cells_[i]) continue;
-            auto& old_bucket = buckets_[cell_key(radio_cells_[i])];
+        const auto idx = static_cast<EngineState::Index>(i);
+        const Cell c = cell_of(state_.position(idx, now));
+        if (state_.bucketed(idx)) {
+            const Cell prev{state_.cell_x(idx), state_.cell_y(idx)};
+            if (c == prev) continue;
+            auto& old_bucket = buckets_[cell_key(prev)];
             old_bucket.erase(
                 std::find(old_bucket.begin(), old_bucket.end(), static_cast<std::uint32_t>(i)));
         }
-        radio_cells_[i] = c;
-        radio_bucketed_[i] = true;
+        state_.set_cell(idx, c.x, c.y);
+        state_.set_bucketed(idx, true);
         buckets_[cell_key(c)].push_back(static_cast<std::uint32_t>(i));
     }
     unbucketed_.clear();
@@ -176,7 +204,7 @@ void Channel::rebucket_if_stale() {
 
 void Channel::deliver_from(Radio* /*sender*/, const Frame& frame, const Vec2& sender_pos,
                            std::uint64_t tx_id, Radio* receiver, const Vec2& rx_pos,
-                           std::vector<Radio*>& affected) {
+                           std::uint32_t slot) {
     const double d = util::distance(sender_pos, rx_pos);
     if (d > params_.cs_range_m) return;
     bool decodable = d <= params_.range_m;
@@ -188,15 +216,42 @@ void Channel::deliver_from(Radio* /*sender*/, const Frame& frame, const Vec2& se
                       .uid = frame_uid(frame), .bytes = frame.wire_bytes,
                       .detail = static_cast<std::uint64_t>(frame.type));
     }
-    affected.push_back(receiver);
+    // Indexed access, not a cached reference: energy_start can re-enter
+    // start_tx through MAC hooks, and a nested acquire may grow tx_slots_.
+    tx_slots_[slot].affected.push_back(receiver);
     receiver->energy_start(tx_id, decodable, frame);
+}
+
+// geoanon: hot
+std::uint32_t Channel::acquire_tx_slot() {
+    if (tx_free_ != kNilSlot) {
+        const std::uint32_t slot = tx_free_;
+        tx_free_ = tx_slots_[slot].next_free;
+        return slot;
+    }
+    return grow_tx_slots();
+}
+
+std::uint32_t Channel::grow_tx_slots() {
+    // Cold path: only as many slots exist as the peak number of concurrent
+    // transmissions ever reached; after warm-up every tx reuses one.
+    tx_slots_.emplace_back();
+    return static_cast<std::uint32_t>(tx_slots_.size() - 1);
+}
+
+// geoanon: hot
+void Channel::release_tx_slot(std::uint32_t slot) {
+    tx_slots_[slot].affected.clear();  // keeps capacity for the next reuse
+    tx_slots_[slot].next_free = tx_free_;
+    tx_free_ = slot;
 }
 
 // geoanon: hot
 void Channel::start_tx(Radio* sender, const Frame& frame) {
     ++stats_.transmissions;
     const std::uint64_t tx_id = next_tx_id_++;
-    const Vec2 sender_pos = sender->position();
+    const SimTime now = sim_.now();
+    const Vec2 sender_pos = state_.position(sender->index_, now);
     GEOANON_TRACE(sim_, .type = obs::EventType::kPhyTx, .node = sender->trace_node_,
                   .uid = frame_uid(frame), .bytes = frame.wire_bytes,
                   .detail = static_cast<std::uint64_t>(frame.type));
@@ -207,15 +262,20 @@ void Channel::start_tx(Radio* sender, const Frame& frame) {
 
     // Reception membership is decided at transmission start. Both paths
     // visit candidates in registration order, so MAC callbacks (and the
-    // events they schedule) fire in the same FIFO order either way.
-    std::vector<Radio*> affected;
+    // events they schedule) fire in the same FIFO order either way. The
+    // reception set lives in a pooled slot so the end-of-airtime closure
+    // captures 28 bytes (inline in sim::Callback) and steady-state
+    // transmissions allocate nothing.
+    const std::uint32_t slot = acquire_tx_slot();
     if (brute_force_) {
         // Validation path only (every radio is a candidate), so the full
         // upper bound is the right reservation.
-        affected.reserve(radios_.empty() ? 0 : radios_.size() - 1);
-        for (Radio* r : radios_) {
+        tx_slots_[slot].affected.reserve(radios_.empty() ? 0 : radios_.size() - 1);
+        for (std::size_t i = 0; i < radios_.size(); ++i) {
+            Radio* r = radios_[i];
             if (r == sender) continue;
-            deliver_from(sender, frame, sender_pos, tx_id, r, r->position(), affected);
+            deliver_from(sender, frame, sender_pos, tx_id, r,
+                         state_.position(static_cast<EngineState::Index>(i), now), slot);
         }
     } else {
         rebucket_if_stale();
@@ -232,17 +292,24 @@ void Channel::start_tx(Radio* sender, const Frame& frame) {
         // geoanon-lint: allow(hot-alloc) -- member scratch, see above
         candidates_.insert(candidates_.end(), unbucketed_.begin(), unbucketed_.end());
         std::sort(candidates_.begin(), candidates_.end());
-        affected.reserve(candidates_.size());
+        tx_slots_[slot].affected.reserve(candidates_.size());
         for (const std::uint32_t idx : candidates_) {
             Radio* r = radios_[idx];
             if (r == sender) continue;
-            deliver_from(sender, frame, sender_pos, tx_id, r, r->position(), affected);
+            deliver_from(sender, frame, sender_pos, tx_id, r,
+                         state_.position(idx, now), slot);
         }
     }
 
-    sim_.after(airtime, [this, sender, affected = std::move(affected), tx_id] {
+    sim_.after(airtime, [this, sender, tx_id, slot] {
         sender->end_own_tx();
-        for (Radio* r : affected) r->energy_end(tx_id);
+        // Indexed loop with a fresh tx_slots_ lookup each pass: energy_end
+        // (via the MAC's on_idle hook) can start a new transmission, which
+        // may acquire a slot and grow the pool mid-loop.
+        for (std::size_t k = 0; k < tx_slots_[slot].affected.size(); ++k) {
+            tx_slots_[slot].affected[k]->energy_end(tx_id);
+        }
+        release_tx_slot(slot);
     });
 }
 

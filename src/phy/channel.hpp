@@ -6,8 +6,10 @@
 #include <utility>
 #include <vector>
 
+#include "mobility/mobility.hpp"
 #include "net/packet.hpp"
 #include "net/types.hpp"
+#include "phy/engine_state.hpp"
 #include "sim/simulator.hpp"
 #include "util/time.hpp"
 #include "util/vec2.hpp"
@@ -30,11 +32,12 @@ struct PhyParams {
     double bitrate_bps{2e6};
     SimTime plcp_overhead{SimTime::micros(192)};
 
-    /// Spatial-index tuning. Radios are re-bucketed from their PositionFn at
-    /// transmission time, at most once per grid_rebucket_interval; the grid
-    /// cell size is cs_range_m plus the farthest a radio can drift between
-    /// sweeps (grid_max_speed_mps * interval), so the 9-cell neighborhood
-    /// query stays exact for any mobility at or below the speed hint.
+    /// Spatial-index tuning. Radios are re-bucketed from their EngineState
+    /// position rows at transmission time, at most once per
+    /// grid_rebucket_interval; the grid cell size is cs_range_m plus the
+    /// farthest a radio can drift between sweeps (grid_max_speed_mps *
+    /// interval), so the 9-cell neighborhood query stays exact for any
+    /// mobility at or below the speed hint.
     SimTime grid_rebucket_interval{SimTime::millis(250)};
     double grid_max_speed_mps{50.0};
 
@@ -69,9 +72,13 @@ class Channel;
 
 /// One node's radio: half-duplex, unit-disk reception, with carrier sensing.
 /// The MAC drives it via start_tx() and receives busy/idle/rx callbacks.
+///
+/// Hot per-radio state (position, up/down, grid cell) lives in the channel's
+/// EngineState row keyed by this radio's registration index; the Radio object
+/// itself holds only the MAC-facing callbacks and counters.
 class Radio {
   public:
-    using PositionFn = std::function<Vec2()>;
+    using PositionFn = EngineState::PositionFn;
 
     struct Stats {
         std::uint64_t frames_sent{0};
@@ -80,7 +87,14 @@ class Radio {
         std::uint64_t frames_missed_down{0}; ///< intact but radio was disabled
     };
 
+    /// Closure-positioned radio (test rigs, bench harnesses): `position` is
+    /// invoked per lookup.
     Radio(sim::Simulator& sim, Channel& channel, PositionFn position);
+    /// Model-positioned radio (production nodes): positions are evaluated
+    /// from the EngineState's cached motion legs — same values, no closure
+    /// or virtual call on the per-frame path. The model must outlive the
+    /// radio.
+    Radio(sim::Simulator& sim, Channel& channel, mobility::MobilityModel& model);
     Radio(const Radio&) = delete;
     Radio& operator=(const Radio&) = delete;
 
@@ -100,11 +114,16 @@ class Radio {
     /// Fault injection: a disabled radio decodes nothing (intact frames are
     /// counted as frames_missed_down instead of delivered). Energy
     /// bookkeeping continues so channel end-events and carrier-sense state
-    /// stay consistent across a crash/recover cycle.
-    void set_enabled(bool enabled) { enabled_ = enabled; }
-    bool enabled() const { return enabled_; }
+    /// stay consistent across a crash/recover cycle. The flag lives in the
+    /// EngineState up/down row.
+    void set_enabled(bool enabled);
+    bool enabled() const;
 
-    Vec2 position() const { return position_(); }
+    Vec2 position() const;
+    /// Current velocity (zero for closure-positioned radios).
+    Vec2 velocity() const;
+    /// This radio's EngineState row (== its registration order).
+    EngineState::Index index() const { return index_; }
     const Stats& stats() const { return stats_; }
     /// Channel parameters (airtimes, ranges) for the MAC above.
     const PhyParams& phy_params() const;
@@ -132,14 +151,13 @@ class Radio {
 
     sim::Simulator& sim_;
     Channel& channel_;
-    PositionFn position_;
+    EngineState::Index index_{0};
     std::function<void()> on_busy_;
     std::function<void()> on_idle_;
     std::function<void(const Frame&)> on_rx_;
 
     int energy_count_{0};
     bool transmitting_{false};
-    bool enabled_{true};
     net::NodeId trace_node_{net::kInvalidNode};
     /// Concurrent receptions, keyed by tx id. Insertion-ordered (a plain
     /// vector, typically 0-3 entries) so corruption sweeps traverse in the
@@ -159,10 +177,10 @@ class Radio {
 /// Reception membership is resolved through a spatial hash grid (cell size
 /// cs_range_m plus a mobility slack): a transmission only inspects radios
 /// bucketed in the 9 cells around the sender, and radios re-bucket lazily
-/// from their PositionFn at transmission time. The grid is an index, not a
-/// model change — candidate radios are visited in registration order and
-/// filtered by the exact same distance test as the brute-force scan, so the
-/// event stream (and therefore every ScenarioResult) is bit-identical to
+/// from their EngineState rows at transmission time. The grid is an index,
+/// not a model change — candidate radios are visited in registration order
+/// and filtered by the exact same distance test as the brute-force scan, so
+/// the event stream (and therefore every ScenarioResult) is bit-identical to
 /// PhyParams::brute_force mode.
 class Channel {
   public:
@@ -178,6 +196,9 @@ class Channel {
     const PhyParams& params() const { return params_; }
     const Stats& stats() const { return stats_; }
     sim::Simulator& simulator() { return sim_; }
+    /// The SoA hot-state tables (positions, up/down, grid cells) for every
+    /// radio registered on this channel, indexed by Radio::index().
+    EngineState& state() { return state_; }
 
     /// Passive global eavesdropper tap: observes every transmission with the
     /// transmitter's true position (a sniffer near the sender learns as
@@ -217,6 +238,8 @@ class Channel {
   private:
     friend class Radio;
 
+    static constexpr std::uint32_t kNilSlot = 0xffffffffu;
+
     /// Grid cell coordinates (floor of position / cell size; signed so
     /// positions slightly outside the area still bucket correctly).
     struct Cell {
@@ -225,39 +248,54 @@ class Channel {
         bool operator==(const Cell&) const = default;
     };
 
-    void register_radio(Radio* radio);
+    /// Pooled per-transmission reception set: the end-of-airtime event
+    /// captures a slot index instead of a freshly-allocated vector, so
+    /// steady-state transmissions do zero heap allocations (the vectors keep
+    /// their capacity across reuse).
+    struct TxSlot {
+        std::vector<Radio*> affected;
+        std::uint32_t next_free{kNilSlot};
+    };
+
+    EngineState::Index register_radio(Radio* radio, EngineState::PositionFn fn);
+    EngineState::Index register_radio(Radio* radio, mobility::MobilityModel* model);
+    void finish_register(Radio* radio);
     void start_tx(Radio* sender, const Frame& frame);
     void note_delivery() { ++stats_.deliveries; }
     void note_collision() { ++stats_.collisions; }
 
     Cell cell_of(const Vec2& p) const;
     static std::uint64_t cell_key(Cell c);
-    /// Re-bucket every radio from its PositionFn if the last sweep is older
-    /// than grid_rebucket_interval (no-op otherwise). Called at tx time only,
-    /// so it schedules nothing and leaves the event stream untouched.
+    /// Re-bucket every radio from its EngineState row if the last sweep is
+    /// older than grid_rebucket_interval (no-op otherwise). Called at tx time
+    /// only, so it schedules nothing and leaves the event stream untouched.
     void rebucket_if_stale();
     void deliver_from(Radio* sender, const Frame& frame, const Vec2& sender_pos,
                       std::uint64_t tx_id, Radio* receiver, const Vec2& rx_pos,
-                      std::vector<Radio*>& affected);
+                      std::uint32_t slot);
+    std::uint32_t acquire_tx_slot();
+    std::uint32_t grow_tx_slots();
+    void release_tx_slot(std::uint32_t slot);
 
     sim::Simulator& sim_;
     PhyParams params_;
+    EngineState state_;
     std::vector<Radio*> radios_;
     Stats stats_;
     std::uint64_t next_tx_id_{1};
     std::vector<SnoopFn> taps_;
     bool has_primary_tap_{false};  ///< taps_[0] is the set_snoop slot
     DropFn drop_;
+    std::vector<TxSlot> tx_slots_;
+    std::uint32_t tx_free_{kNilSlot};
 
     // Spatial hash grid ---------------------------------------------------
     bool brute_force_{false};
     double cell_m_{1.0};
-    std::vector<Cell> radio_cells_;           ///< parallel to radios_
-    std::vector<bool> radio_bucketed_;        ///< parallel to radios_
     std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> buckets_;
     /// Radios registered since the last sweep; always candidates until the
-    /// next sweep buckets them (their PositionFn may not be safely callable
-    /// at registration time).
+    /// next sweep buckets them (their position row may not be safely
+    /// readable at registration time).
     std::vector<std::uint32_t> unbucketed_;
     bool swept_once_{false};
     SimTime last_sweep_{};

@@ -51,7 +51,7 @@ void GpsrGreedyAgent::on_node_restart() {
 void GpsrGreedyAgent::send_hello() {
     if (!node_.up()) return;  // crashed: the hello timer keeps ticking idly
     purge_neighbors();
-    auto pkt = std::make_shared<Packet>();
+    auto pkt = net::make_packet();
     pkt->type = net::PacketType::kGpsrHello;
     // geoanon-lint: allow(privacy-taint) -- GPSR is the non-anonymous baseline (§2): exposing id+location on hellos is exactly the behavior the paper's scheme is measured against
     pkt->src_id = node_.id();
@@ -108,7 +108,7 @@ void GpsrGreedyAgent::send_data(NodeId dst, net::FlowId flow, std::uint32_t seq,
                           .flow = flow, .seq = seq, .detail = dst);
             return;
         }
-        auto pkt = std::make_shared<Packet>();
+        auto pkt = net::make_packet();
         pkt->type = net::PacketType::kGpsrData;
         pkt->flow = flow;
         pkt->seq = seq;

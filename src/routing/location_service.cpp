@@ -107,7 +107,7 @@ void LocationService::send_update() {
     const util::Vec2 my_loc = hooks_.my_position();
     const std::uint32_t home = grid_.home_grid(me);
 
-    auto pkt = std::make_shared<Packet>();
+    auto pkt = net::make_packet();
     pkt->type = net::PacketType::kLocUpdate;
     pkt->grid = home;
     pkt->dst_loc = grid_.center_of(home);
@@ -206,7 +206,7 @@ void LocationService::send_query(std::uint64_t qid) {
     if (q.attempts > 0 || q.stage > 0) ++stats_.query_reissues;
     ++q.attempts;
 
-    auto pkt = std::make_shared<Packet>();
+    auto pkt = net::make_packet();
     pkt->type = net::PacketType::kLocRequest;
     pkt->grid = grid_.home_grid(q.target);
     pkt->dst_loc = grid_.center_of(pkt->grid);
@@ -409,7 +409,7 @@ void LocationService::answer_request(const PacketPtr& pkt) {
         return stale;
     };
 
-    auto reply = std::make_shared<Packet>();
+    auto reply = net::make_packet();
     reply->type = net::PacketType::kLocReply;
     reply->grid = pkt->grid;
     reply->dst_loc = pkt->requester_loc;
@@ -586,7 +586,7 @@ void LocationService::on_reply(const PacketPtr& pkt) {
 
 void LocationService::push_anon_rows(std::uint32_t grid,
                                      const std::vector<std::string>& keys) {
-    auto pkt = std::make_shared<Packet>();
+    auto pkt = net::make_packet();
     pkt->type = net::PacketType::kLocReplicate;
     pkt->grid = grid;
     pkt->dst_loc = grid_.center_of(grid);
@@ -620,7 +620,7 @@ void LocationService::push_anon_rows(std::uint32_t grid,
 }
 
 void LocationService::push_plain_row(NodeId subject, const PlainRow& row) {
-    auto pkt = std::make_shared<Packet>();
+    auto pkt = net::make_packet();
     pkt->type = net::PacketType::kLocReplicate;
     pkt->grid = grid_.home_grid(subject);
     pkt->dst_loc = grid_.center_of(pkt->grid);
@@ -643,7 +643,7 @@ void LocationService::push_plain_row(NodeId subject, const PlainRow& row) {
 // geoanon: hot
 void LocationService::send_digest(std::uint32_t grid) {
     // geoanon-lint: allow(hot-alloc) -- packets are immutable shared-ownership objects by design; a packet arena is ROADMAP item 1, not a per-call fix
-    auto pkt = std::make_shared<Packet>();
+    auto pkt = net::make_packet();
     pkt->type = net::PacketType::kLocDigest;
     pkt->grid = grid;
     pkt->dst_loc = grid_.center_of(grid);

@@ -1,0 +1,102 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace geoanon::sim {
+
+/// Move-only type-erased callable with small-buffer optimization.
+///
+/// Every event in the kernel carries one of these. std::function is the wrong
+/// tool on that path: it is copyable (so captured state must be copyable),
+/// and libstdc++'s 16-byte inline buffer spills the typical simulator lambda
+/// (a `this` pointer plus two or three words of context) to the heap — one
+/// malloc/free pair per scheduled event. Callback inlines captures up to
+/// kInlineBytes and supports move-only state (PacketPtr, pooled buffers), so
+/// steady-state scheduling allocates nothing.
+class Callback {
+  public:
+    /// Inline capture budget. Sized for the largest hot-path lambda in the
+    /// tree (Channel's end-of-airtime event: 3 words of context plus a
+    /// pooled-slot index); anything bigger falls back to one heap node.
+    /// Chosen so a whole event record stays at 80 bytes.
+    static constexpr std::size_t kInlineBytes = 40;
+
+    Callback() noexcept = default;
+
+    template <typename F>
+        requires(!std::is_same_v<std::decay_t<F>, Callback> &&
+                 std::is_invocable_r_v<void, std::decay_t<F>&>)
+    Callback(F&& f) {  // NOLINT(google-explicit-constructor): mirrors std::function
+        using Fn = std::decay_t<F>;
+        if constexpr (sizeof(Fn) <= kInlineBytes && alignof(Fn) <= alignof(void*) &&
+                      std::is_nothrow_move_constructible_v<Fn>) {
+            ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+            invoke_ = [](void* s) { (*std::launder(reinterpret_cast<Fn*>(s)))(); };
+            relocate_ = [](void* src, void* dst) noexcept {
+                Fn* fn = std::launder(reinterpret_cast<Fn*>(src));
+                if (dst != nullptr) ::new (dst) Fn(std::move(*fn));
+                fn->~Fn();
+            };
+        } else {
+            ::new (static_cast<void*>(storage_)) Fn*(new Fn(std::forward<F>(f)));
+            invoke_ = [](void* s) { (**std::launder(reinterpret_cast<Fn**>(s)))(); };
+            relocate_ = [](void* src, void* dst) noexcept {
+                Fn** slot = std::launder(reinterpret_cast<Fn**>(src));
+                if (dst != nullptr) {
+                    ::new (dst) Fn*(*slot);  // pointer itself is trivially destructible
+                } else {
+                    delete *slot;
+                }
+            };
+        }
+    }
+
+    Callback(Callback&& o) noexcept : invoke_(o.invoke_), relocate_(o.relocate_) {
+        if (relocate_ != nullptr) o.relocate_(o.storage_, storage_);
+        o.invoke_ = nullptr;
+        o.relocate_ = nullptr;
+    }
+
+    Callback& operator=(Callback&& o) noexcept {
+        if (this != &o) {
+            reset();
+            invoke_ = o.invoke_;
+            relocate_ = o.relocate_;
+            if (relocate_ != nullptr) o.relocate_(o.storage_, storage_);
+            o.invoke_ = nullptr;
+            o.relocate_ = nullptr;
+        }
+        return *this;
+    }
+
+    Callback(const Callback&) = delete;
+    Callback& operator=(const Callback&) = delete;
+
+    ~Callback() { reset(); }
+
+    void operator()() { invoke_(storage_); }
+
+    explicit operator bool() const noexcept { return invoke_ != nullptr; }
+
+    void reset() noexcept {
+        if (relocate_ != nullptr) relocate_(storage_, nullptr);
+        invoke_ = nullptr;
+        relocate_ = nullptr;
+    }
+
+  private:
+    using Invoke = void (*)(void*);
+    /// Move-construct the callable from src into dst and destroy src;
+    /// dst == nullptr destroys only.
+    using Relocate = void (*)(void* src, void* dst) noexcept;
+
+    Invoke invoke_{nullptr};
+    Relocate relocate_{nullptr};
+    alignas(void*) unsigned char storage_[kInlineBytes];
+};
+
+}  // namespace geoanon::sim

@@ -209,33 +209,31 @@ void ScenarioRunner::build_traffic() {
         }
     }
 
-    // CBR generators: fixed inter-packet gap, self-rescheduling. The runner
-    // owns the closures; each captures a raw pointer to itself so it can
-    // reschedule (capturing the shared_ptr would be a reference cycle — the
-    // function owning itself — which LeakSanitizer rightly reports).
+    // CBR generators: fixed inter-packet gap, self-rescheduling member
+    // ticks. Each scheduled event captures only [this, f] (16 bytes, inline
+    // in sim::Callback) — no heap-held closures, no self-ownership cycles.
     auto& sim = network_->sim();
-    const double gap_s = 1.0 / config_.cbr_pps;
     for (std::size_t f = 0; f < flows_.size(); ++f) {
-        auto holder = std::make_shared<std::function<void()>>();
-        cbr_generators_.push_back(holder);
-        *holder = [this, f, gap_s, &sim, fn = holder.get()]() {
-            Flow& flow = flows_[f];
-            if (sim.now().to_seconds() > config_.traffic_stop_s) return;
-            if (!network_->node(flow.src).up()) {
-                // A crashed sender skips its slots (app offers no load while
-                // down) but the generator keeps ticking for its recovery.
-                sim.after(SimTime::seconds(gap_s), *fn);
-                return;
-            }
-            net::Bytes body(config_.cbr_payload_bytes, 0xAB);
-            const std::uint32_t seq = flow.next_seq++;
-            ++sent_per_flow_[f];
-            network_->node(flow.src).agent().send_data(flow.dst, flow.id, seq,
-                                                       std::move(body));
-            sim.after(SimTime::seconds(gap_s), *fn);
-        };
-        sim.at(SimTime::seconds(flows_[f].start_s), *holder);
+        sim.at(SimTime::seconds(flows_[f].start_s), [this, f] { cbr_tick(f); });
     }
+}
+
+void ScenarioRunner::cbr_tick(std::size_t f) {
+    auto& sim = network_->sim();
+    Flow& flow = flows_[f];
+    if (sim.now().to_seconds() > config_.traffic_stop_s) return;
+    const SimTime gap = SimTime::seconds(1.0 / config_.cbr_pps);
+    if (!network_->node(flow.src).up()) {
+        // A crashed sender skips its slots (app offers no load while down)
+        // but the generator keeps ticking for its recovery.
+        sim.after(gap, [this, f] { cbr_tick(f); });
+        return;
+    }
+    net::Bytes body(config_.cbr_payload_bytes, 0xAB);
+    const std::uint32_t seq = flow.next_seq++;
+    ++sent_per_flow_[f];
+    network_->node(flow.src).agent().send_data(flow.dst, flow.id, seq, std::move(body));
+    sim.after(gap, [this, f] { cbr_tick(f); });
 }
 
 void ScenarioRunner::on_delivery(net::NodeId at, const net::Packet& pkt) {

@@ -217,15 +217,16 @@ class ScenarioRunner {
 
     void build_nodes();
     void build_traffic();
+    /// One CBR slot for flow `f`: emit a packet (unless the sender is down
+    /// or traffic has stopped) and reschedule. Member function instead of a
+    /// heap-held closure: the event captures only [this, f], which fits the
+    /// simulator's inline callback storage.
+    void cbr_tick(std::size_t f);
     void on_delivery(net::NodeId at, const net::Packet& pkt);
     ScenarioResult aggregate();
 
     ScenarioConfig config_;
     std::unique_ptr<crypto::CryptoEngine> engine_;
-    /// Self-rescheduling CBR closures; owned here (not by themselves) so
-    /// the generator loop is leak-free. Declared before network_ so they
-    /// outlive any simulator events still pointing into them.
-    std::vector<std::shared_ptr<std::function<void()>>> cbr_generators_;
     /// Declared before network_: the simulator holds a raw pointer to the
     /// recorder, so it must outlive the network during teardown.
     std::unique_ptr<obs::TraceRecorder> recorder_;

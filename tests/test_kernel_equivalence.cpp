@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "experiment/json.hpp"
+#include "workload/scenario.hpp"
+
+namespace {
+
+using namespace geoanon;
+
+/// Full-scenario differential between the timer-wheel and binary-heap event
+/// kernels: identical configs must produce byte-identical result JSON
+/// (perf excluded — it is wall-clock). This is the in-tree version of
+/// bench/scaling_grid --differential, small enough for the unit suite.
+///
+/// The kernel is selected per process via GEOANON_HEAP_QUEUE, so the test
+/// saves, toggles, and restores the variable around each serial run. The
+/// simulator reads it once at construction; runs never overlap.
+class KernelEquivalence : public ::testing::Test {
+  protected:
+    static std::string run_with_kernel(bool heap, workload::ScenarioConfig cfg) {
+        const char* prev = std::getenv("GEOANON_HEAP_QUEUE");
+        const std::string saved = prev != nullptr ? prev : "";
+        const bool had = prev != nullptr;
+        if (heap) {
+            ::setenv("GEOANON_HEAP_QUEUE", "1", 1);
+        } else {
+            ::unsetenv("GEOANON_HEAP_QUEUE");
+        }
+        workload::ScenarioRunner runner(cfg);
+        const workload::ScenarioResult result = runner.run();
+        if (had) {
+            ::setenv("GEOANON_HEAP_QUEUE", saved.c_str(), 1);
+        } else {
+            ::unsetenv("GEOANON_HEAP_QUEUE");
+        }
+        return experiment::result_to_json(result, /*include_perf=*/false);
+    }
+
+    static workload::ScenarioConfig small_config(workload::Scheme scheme) {
+        workload::ScenarioConfig cfg;
+        cfg.scheme = scheme;
+        cfg.seed = 42;
+        cfg.num_nodes = 25;
+        cfg.num_flows = 6;
+        cfg.num_senders = 5;
+        cfg.sim_seconds = 40.0;
+        cfg.traffic_stop_s = 35.0;
+        return cfg;
+    }
+};
+
+TEST_F(KernelEquivalence, GpsrResultJsonByteIdentical) {
+    const auto cfg = small_config(workload::Scheme::kGpsrGreedy);
+    EXPECT_EQ(run_with_kernel(false, cfg), run_with_kernel(true, cfg));
+}
+
+TEST_F(KernelEquivalence, AgfwAckResultJsonByteIdentical) {
+    const auto cfg = small_config(workload::Scheme::kAgfwAck);
+    EXPECT_EQ(run_with_kernel(false, cfg), run_with_kernel(true, cfg));
+}
+
+}  // namespace
