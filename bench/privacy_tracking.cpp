@@ -21,6 +21,11 @@ int main(int argc, char** argv) {
     experiment::SweepSpec spec;
     spec.base = bench::paper_scenario(workload::Scheme::kGpsrGreedy, 50, seconds, 1);
     spec.base.attach_eavesdropper = true;
+    // Also run the offline linking attack (DESIGN.md §16) over the same
+    // observation feed: GPSR's identity-bearing beacons calibrate it
+    // (tracking ~= 1.0 — equal handles link for free), AGFW's per-hello
+    // pseudonyms are what it actually has to fight.
+    spec.base.attach_observer = true;
     spec.axes = {experiment::Axis::variants(
         "privacy_case", {"gpsr-greedy", "agfw-ack", "agfw-ack + MAC leak"},
         [](workload::ScenarioConfig& cfg, double v) {
@@ -36,9 +41,11 @@ int main(int argc, char** argv) {
 
     util::TablePrinter table({"scheme", "frames seen", "identity sightings",
                               "pseudonym sightings", "nodes localized", "coverage",
-                              "pseudonym->MAC links"});
+                              "pseudonym->MAC links", "tracking", "precision",
+                              "anon-set"});
     for (const experiment::PointRecord& pt : points) {
         const auto& adv = pt.runs.front().result.adversary;
+        const auto& atk = pt.runs.front().result.attack;
         table.row()
             .cell(pt.labels[0])
             .cell(static_cast<long long>(adv.frames_observed))
@@ -46,7 +53,10 @@ int main(int argc, char** argv) {
             .cell(static_cast<long long>(adv.pseudonym_sightings))
             .cell(static_cast<long long>(adv.nodes_ever_localized))
             .cell(adv.mean_tracking_coverage, 3)
-            .cell(static_cast<long long>(adv.mac_pseudonym_links));
+            .cell(static_cast<long long>(adv.mac_pseudonym_links))
+            .cell(atk.tracking_success_rate, 3)
+            .cell(atk.link_precision, 3)
+            .cell(atk.mean_anonymity_set, 2);
     }
     table.print();
 
@@ -54,6 +64,9 @@ int main(int argc, char** argv) {
     std::printf(
         "\nExpected shape (paper §4): GPSR localizes every node almost\n"
         "continuously; full AGFW yields zero identity-location linkage; the\n"
-        "MAC-leak ablation confirms why §3.2 forbids real source addresses.\n");
+        "MAC-leak ablation confirms why §3.2 forbids real source addresses.\n"
+        "The linking attack tracks GPSR near-perfectly (identity handles link\n"
+        "for free); AGFW forces it onto motion-gated guesses — see\n"
+        "privacy_frontier for the countermeasure sweep.\n");
     return 0;
 }

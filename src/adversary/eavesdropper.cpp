@@ -1,17 +1,16 @@
-#include "core/adversary.hpp"
+#include "adversary/eavesdropper.hpp"
 
 #include <algorithm>
+#include <vector>
 
 #include "util/bytes.hpp"
 
-namespace geoanon::core {
+namespace geoanon::adversary {
 
-Eavesdropper::Eavesdropper(phy::Channel& channel, std::size_t node_count,
-                           std::function<net::NodeId(net::MacAddr)> ground_truth,
-                           Params params)
-    : node_count_(node_count), ground_truth_(std::move(ground_truth)), params_(params) {
-    channel.add_snoop([this, &channel](const phy::Frame& f, const util::Vec2& /*pos*/) {
-        observe(f, channel.simulator().now().to_seconds());
+Eavesdropper::Eavesdropper(ObservationFeed& feed, std::size_t node_count, Params params)
+    : feed_(feed), node_count_(node_count), params_(params) {
+    feed_.subscribe([this](const phy::Frame& f, const util::Vec2& /*pos*/, double t) {
+        observe(f, t);
     });
 }
 
@@ -25,7 +24,7 @@ void Eavesdropper::observe(const phy::Frame& frame, double t) {
     const bool has_real_src = frame.src != net::kBroadcastAddr;
 
     // A frame with a persistent source MAC localizes its owner outright.
-    if (has_real_src) identity_sighting(ground_truth_(frame.src), t);
+    if (has_real_src) identity_sighting(feed_.mac_owner(frame.src), t);
 
     if (frame.type != phy::Frame::Type::kData || !frame.payload) return;
     const net::Packet& pkt = *frame.payload;
@@ -44,7 +43,7 @@ void Eavesdropper::observe(const phy::Frame& frame, double t) {
             // previously bound to a MAC via the §3.2 correlation attack.
             auto it = pseudonym_to_mac_.find(pkt.hello_pseudonym);
             if (it != pseudonym_to_mac_.end()) {
-                identity_sighting(ground_truth_(it->second), t);
+                identity_sighting(feed_.mac_owner(it->second), t);
             } else {
                 ++pseudonym_sightings_;
             }
@@ -119,4 +118,4 @@ Eavesdropper::Report Eavesdropper::report(double total_seconds) const {
     return r;
 }
 
-}  // namespace geoanon::core
+}  // namespace geoanon::adversary

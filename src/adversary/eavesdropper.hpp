@@ -1,20 +1,17 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <optional>
 #include <set>
 #include <string>
 #include <unordered_map>
-#include <unordered_set>
 #include <utility>
 
+#include "adversary/observation.hpp"
 #include "net/packet.hpp"
 #include "net/types.hpp"
 #include "phy/channel.hpp"
-#include "util/time.hpp"
 
-namespace geoanon::core {
+namespace geoanon::adversary {
 
 /// Passive global eavesdropper implementing the paper's threat model (§2):
 /// it observes every transmission (with the transmitter's position — a
@@ -31,19 +28,19 @@ namespace geoanon::core {
 ///
 /// Against full AGFW (anonymous MAC + pseudonyms) none of these fire, which
 /// is exactly §4's claim; the report quantifies it.
+///
+/// Observations arrive through the shared ObservationFeed (one snoop
+/// registration for every adversary component); the feed also supplies the
+/// scoring-only MAC→NodeId ground truth.
 class Eavesdropper {
   public:
     struct Params {
         double window_seconds{10.0};  ///< tracking-coverage bucket size
     };
 
-    /// `ground_truth` maps a MAC address to the owning node id — used only
-    /// for *scoring* what the adversary learned, never for the attack itself.
-    Eavesdropper(phy::Channel& channel, std::size_t node_count,
-                 std::function<net::NodeId(net::MacAddr)> ground_truth, Params params);
-    Eavesdropper(phy::Channel& channel, std::size_t node_count,
-                 std::function<net::NodeId(net::MacAddr)> ground_truth)
-        : Eavesdropper(channel, node_count, std::move(ground_truth), Params{}) {}
+    Eavesdropper(ObservationFeed& feed, std::size_t node_count, Params params);
+    Eavesdropper(ObservationFeed& feed, std::size_t node_count)
+        : Eavesdropper(feed, node_count, Params{}) {}
 
     struct Report {
         std::uint64_t frames_observed{0};
@@ -81,8 +78,8 @@ class Eavesdropper {
     void observe(const phy::Frame& frame, double t_seconds);
     void identity_sighting(net::NodeId victim, double t_seconds);
 
+    ObservationFeed& feed_;
     std::size_t node_count_;
-    std::function<net::NodeId(net::MacAddr)> ground_truth_;
     Params params_;
 
     std::uint64_t frames_observed_{0};
@@ -102,4 +99,4 @@ class Eavesdropper {
     std::set<std::pair<net::NodeId, net::NodeId>> relationships_;
 };
 
-}  // namespace geoanon::core
+}  // namespace geoanon::adversary

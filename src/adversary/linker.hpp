@@ -1,0 +1,89 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/vec2.hpp"
+
+namespace geoanon::adversary {
+
+/// What a passive observer reads off one beacon: time, transmit position,
+/// handle. Ground truth is deliberately absent from this type — linking
+/// decisions cannot consume what the struct does not carry.
+struct HelloSighting {
+    double t_s{0.0};
+    util::Vec2 pos{};
+    std::uint64_t handle{0};
+};
+
+/// Attacker strength knobs for the pseudonym-linking pass.
+struct LinkerParams {
+    /// Physical speed bound the attacker assumes; a candidate link implying
+    /// a faster movement is rejected. 0 = take the scenario's max speed.
+    double max_speed_mps{0.0};
+    /// Position allowance on top of max_speed * gap (beacon jitter, GPS
+    /// error, the distance covered inside one beacon interval).
+    double slack_m{50.0};
+    /// Longest silence the attacker will bridge. Gaps beyond this (deep
+    /// mix-zone traversals) always break the chain.
+    double max_gap_s{30.0};
+    /// Strong attacker: collect every gate-passing (predecessor, successor)
+    /// pair and commit them globally in cost order, so a cheap link is never
+    /// lost to an earlier greedy mistake. false = weak attacker that scans
+    /// tracklets in time order and takes the best predecessor available at
+    /// that moment.
+    bool global_matching{true};
+};
+
+/// A maximal same-handle run of sightings (one pseudonym's lifetime). With
+/// per-hello rotation every tracklet is a single beacon; timed rotation and
+/// cleartext identities produce long tracklets.
+struct Tracklet {
+    std::uint64_t handle{0};
+    std::uint32_t first{0};  ///< index of first sighting (sorted order)
+    std::uint32_t count{0};
+    double t_begin{0.0};
+    double t_end{0.0};
+    util::Vec2 p_begin{};
+    util::Vec2 p_end{};
+};
+
+/// One candidate identity: a chain of tracklets the attacker believes belong
+/// to the same node.
+struct Chain {
+    std::vector<std::uint32_t> tracklets;  ///< indices, time order
+};
+
+/// A committed predecessor→successor link plus the ambiguity the attacker
+/// faced at that decision (how many gate-passing successors the predecessor
+/// had — the anonymity set of the change).
+struct Link {
+    std::uint32_t from{0};  ///< tracklet index
+    std::uint32_t to{0};
+    double t_s{0.0};        ///< decision time (successor's first beacon)
+    std::uint32_t candidates{1};
+};
+
+struct LinkResult {
+    /// Sightings in canonical order (sorted by handle, then time, then
+    /// position — so every tracklet is the contiguous run [first,
+    /// first+count)); tracklet indices refer to this vector.
+    std::vector<HelloSighting> sightings;
+    /// canonical index -> index in the caller's input vector, so callers can
+    /// carry parallel per-sighting data (ground truth) through the sort.
+    std::vector<std::uint32_t> original_index;
+    std::vector<Tracklet> tracklets;
+    std::vector<Chain> chains;
+    /// tracklet index -> chain index.
+    std::vector<std::uint32_t> chain_of;
+    std::vector<Link> links;
+    std::uint64_t candidate_pairs{0};  ///< gate-passing pairs considered
+};
+
+/// Stitch successive pseudonyms into candidate identities by spatio-temporal
+/// continuity (max-speed gating + greedy or global matching). Deterministic:
+/// identical input yields an identical LinkResult on every run and platform.
+// geoanon: sink(attack-decision)
+LinkResult link_pseudonyms(std::vector<HelloSighting> sightings, const LinkerParams& params);
+
+}  // namespace geoanon::adversary

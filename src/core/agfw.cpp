@@ -52,7 +52,16 @@ AgfwAgent::AgfwAgent(net::Node& node, Params params, crypto::CryptoEngine& engin
       locate_(std::move(locate)),
       deliver_(std::move(deliver)),
       pseudonyms_(engine, node.id(), node.rng()),
-      ant_(ant_params_for(params)) {}
+      ant_(ant_params_for(params)) {
+    // Per-node silence phase for the virtual-pseudonym-change policy. Drawn
+    // only when that policy is active so every other configuration consumes
+    // the exact same RNG stream as before the policy existed.
+    const PseudonymPolicy& pol = params_.pseudonym_policy;
+    if (pol.kind == PseudonymPolicy::Kind::kVirtualMixZone &&
+        pol.vpc_period > SimTime::zero()) {
+        vpc_phase_ = SimTime::nanos(node_.rng().uniform_int(0, pol.vpc_period.ns() - 1));
+    }
+}
 
 std::string AgfwAgent::name() const {
     return params_.use_net_ack ? "agfw-ack" : "agfw-noack";
@@ -149,18 +158,53 @@ void AgfwAgent::on_node_restart() {
     if (ls_) ls_->reset();
 }
 
+bool AgfwAgent::policy_silent(SimTime now) const {
+    const PseudonymPolicy& pol = params_.pseudonym_policy;
+    switch (pol.kind) {
+        case PseudonymPolicy::Kind::kMixZone:
+            return pol.in_zone(node_.position());
+        case PseudonymPolicy::Kind::kVirtualMixZone: {
+            if (pol.vpc_period <= SimTime::zero()) return false;
+            const std::int64_t phase =
+                (now.ns() + vpc_phase_.ns()) % pol.vpc_period.ns();
+            return phase < pol.vpc_silence.ns();
+        }
+        default:
+            return false;
+    }
+}
+
 // geoanon: hot
 void AgfwAgent::send_hello() {
     if (!node_.up()) return;  // crashed: the hello timer keeps ticking idly
     purge_soft_state();
     ant_.purge(node_.sim().now());
 
+    const SimTime now = node_.sim().now();
+    if (policy_silent(now)) {
+        // Mix-zone / VPC silence: skip this beacon entirely. Per-hello
+        // rotation below then guarantees the first post-silence beacon
+        // carries a pseudonym never seen before the gap (the "swap").
+        ++stats_.hello_suppressed;
+        return;
+    }
+
     // geoanon-lint: allow(hot-alloc) -- packets are immutable shared-ownership objects by design; a packet arena is ROADMAP item 1, not a per-call fix
     auto pkt = net::make_packet();
     pkt->type = net::PacketType::kAgfwHello;
-    pkt->hello_pseudonym = pseudonyms_.rotate();
-    GEOANON_TRACE(node_.sim(), .type = obs::EventType::kPseudonymRotated,
-                  .node = node_.id(), .detail = pkt->hello_pseudonym);
+    if (params_.pseudonym_policy.kind == PseudonymPolicy::Kind::kTimed &&
+        rotated_once_ && now - last_rotation_ < params_.pseudonym_policy.rotate_interval) {
+        // Timed policy: deliberately weak — keep announcing the current
+        // pseudonym until it ages out (the linkable end of the frontier).
+        pkt->hello_pseudonym = pseudonyms_.current();
+    } else {
+        pkt->hello_pseudonym = pseudonyms_.rotate();
+        ++stats_.pseudonym_rotations;
+        last_rotation_ = now;
+        rotated_once_ = true;
+        GEOANON_TRACE(node_.sim(), .type = obs::EventType::kPseudonymRotated,
+                      .node = node_.id(), .detail = pkt->hello_pseudonym);
+    }
     // geoanon-lint: allow(privacy-taint) -- §3.1: the hello's cleartext location IS the routable information; anonymity comes from the pseudonym, not from hiding position
     pkt->hello_loc = node_.position();
     // geoanon-lint: allow(privacy-taint) -- §3.1.1 motion hint, same by-design exposure as hello_loc
@@ -754,6 +798,8 @@ void AgfwAgent::publish_metrics(obs::MetricsRegistry& reg) const {
     reg.add("agfw.hello_sent", stats_.hello_sent);
     reg.add("agfw.hello_verified", stats_.hello_verified);
     reg.add("agfw.hello_rejected", stats_.hello_rejected);
+    reg.add("agfw.hello_suppressed", stats_.hello_suppressed);
+    reg.add("agfw.pseudonym_rotations", stats_.pseudonym_rotations);
     reg.add("agfw.cert_fetches", stats_.cert_fetches);
     reg.add("agfw.control_bytes", stats_.control_bytes);
     reg.add("agfw.data_bytes", stats_.data_bytes);

@@ -8,6 +8,7 @@
 
 #include "core/ant.hpp"
 #include "core/pseudonym.hpp"
+#include "core/pseudonym_policy.hpp"
 #include "crypto/engine.hpp"
 #include "net/network.hpp"
 #include "net/node.hpp"
@@ -75,6 +76,12 @@ class AgfwAgent final : public net::RoutingAgent {
         /// Send certificates by reference, fetching unknown ones once (§4).
         bool certs_by_reference{true};
 
+        /// When and how often hellos change their pseudonym — the
+        /// countermeasure axis of the adversary experiments (DESIGN.md §16).
+        /// The default (per-hello rotation) is the paper's §3.1.1 behavior
+        /// and is bit-identical to the pre-policy code path.
+        PseudonymPolicy pseudonym_policy{};
+
         /// Charge the modeled crypto CPU delays (§5: 0.5 ms / 8.5 ms).
         bool charge_crypto_costs{true};
         /// Attach a velocity hint to hellos (§3.1.1 predictable motion).
@@ -111,6 +118,10 @@ class AgfwAgent final : public net::RoutingAgent {
         std::uint64_t hello_sent{0};
         std::uint64_t hello_verified{0};
         std::uint64_t hello_rejected{0};
+        /// Hello slots skipped by the pseudonym policy (mix-zone / VPC
+        /// silence) — the visibility cost of the countermeasure.
+        std::uint64_t hello_suppressed{0};
+        std::uint64_t pseudonym_rotations{0};
         std::uint64_t cert_fetches{0};       ///< unknown ring certs fetched (§4)
         std::uint64_t control_bytes{0};      ///< hellos + ACKs + cert traffic
         std::uint64_t data_bytes{0};
@@ -170,6 +181,9 @@ class AgfwAgent final : public net::RoutingAgent {
     };
 
     void send_hello();
+    /// Is the pseudonym policy holding this node's beacon right now (inside
+    /// a mix zone, or in a virtual-pseudonym-change silence slot)?
+    bool policy_silent(util::SimTime now) const;
     void handle_hello(const PacketPtr& pkt);
     void admit_hello(const PacketPtr& pkt);
     void handle_committed(const PacketPtr& pkt);
@@ -222,6 +236,13 @@ class AgfwAgent final : public net::RoutingAgent {
     PseudonymManager pseudonyms_;
     AnonymousNeighborTable ant_;
     sim::PeriodicTimer hello_timer_;
+    /// Pseudonym-policy state: when the pseudonym last rotated (kTimed) and
+    /// this node's silence phase (kVirtualMixZone; drawn from the node RNG
+    /// only when that policy is active, so other configs' RNG streams are
+    /// untouched).
+    util::SimTime last_rotation_{};
+    util::SimTime vpc_phase_{};
+    bool rotated_once_{false};
 
     std::unordered_map<std::uint64_t, util::SimTime> seen_;
     std::unordered_map<Pseudonym, util::SimTime> blacklist_;  // value: expiry

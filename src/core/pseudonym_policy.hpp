@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "mobility/mobility.hpp"
+#include "util/time.hpp"
+#include "util/vec2.hpp"
+
+namespace geoanon::core {
+
+/// A circular silent region (mix zone). Nodes inside it suppress their hello
+/// beacons; per-hello pseudonym rotation then guarantees the first beacon
+/// after the zone carries a pseudonym the observer never saw entering it.
+struct MixZone {
+    util::Vec2 center{};
+    double radius_m{0.0};
+
+    bool contains(const util::Vec2& p) const {
+        return util::distance(p, center) <= radius_m;
+    }
+};
+
+/// When (and how often) an AGFW node changes the pseudonym on its hellos —
+/// the countermeasure axis of the adversary experiments (Amro 2018's mix
+/// zones and virtual pseudonym change, plus the paper's native per-hello
+/// rotation and a deliberately weak timed rotation as frontier endpoints).
+///
+/// Semantics (see DESIGN.md §16):
+///  - kPerHello: the paper's §3.1.1 rule — a fresh pseudonym on every hello.
+///    Baseline; byte-identical to pre-policy behavior.
+///  - kTimed: reuse the current pseudonym for rotate_interval before
+///    rotating. Cheaper on ANT churn, trivially linkable — the weak end.
+///  - kMixZone: per-hello rotation everywhere, plus hello silence inside the
+///    configured zones. The silence gap breaks spatio-temporal continuity;
+///    the rotation across it is the pseudonym swap.
+///  - kVirtualMixZone: per-hello rotation plus periodic unsynchronized
+///    silence (vpc_silence every vpc_period, phase drawn per node) — a mix
+///    zone every node carries with it, independent of geography.
+///
+/// Only hellos are suppressed while silent: data forwarding continues, so
+/// the cost of a policy is stale-ANT routing damage, not a traffic outage.
+struct PseudonymPolicy {
+    enum class Kind : std::uint8_t { kPerHello, kTimed, kMixZone, kVirtualMixZone };
+
+    Kind kind{Kind::kPerHello};
+
+    /// kTimed: minimum age of the current pseudonym before the next hello
+    /// rotates it.
+    util::SimTime rotate_interval{util::SimTime::seconds(30.0)};
+
+    /// kMixZone: the silent regions.
+    std::vector<MixZone> zones;
+
+    /// kVirtualMixZone: every vpc_period a node falls silent for
+    /// vpc_silence. Phases are per-node (drawn from the node's seeded RNG)
+    /// so the network never goes quiet all at once.
+    util::SimTime vpc_period{util::SimTime::seconds(60.0)};
+    util::SimTime vpc_silence{util::SimTime::seconds(6.0)};
+
+    bool in_zone(const util::Vec2& p) const {
+        for (const MixZone& z : zones)
+            if (z.contains(p)) return true;
+        return false;
+    }
+
+    /// Evenly spaced zone centers across the area: `count` circles of
+    /// `radius_m` on the horizontal midline (the paper's 1500x300 strip
+    /// makes a single row the natural layout). Deterministic.
+    static std::vector<MixZone> grid_layout(const mobility::Area& area,
+                                            std::size_t count, double radius_m) {
+        std::vector<MixZone> zones;
+        zones.reserve(count);
+        for (std::size_t i = 0; i < count; ++i) {
+            const double x =
+                area.width * (static_cast<double>(i) + 0.5) / static_cast<double>(count);
+            zones.push_back({{x, area.height * 0.5}, radius_m});
+        }
+        return zones;
+    }
+
+    static const char* kind_name(Kind k) {
+        switch (k) {
+            case Kind::kPerHello: return "per-hello";
+            case Kind::kTimed: return "timed";
+            case Kind::kMixZone: return "mix-zone";
+            case Kind::kVirtualMixZone: return "virtual-pc";
+        }
+        return "?";
+    }
+};
+
+}  // namespace geoanon::core

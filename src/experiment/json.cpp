@@ -29,6 +29,8 @@ void result_to_json(JsonWriter& w, const workload::ScenarioResult& r, bool inclu
     w.key("acks_sent").value(r.acks_sent);
     w.key("implicit_acks").value(r.implicit_acks);
     w.key("hello_sent").value(r.hello_sent);
+    w.key("hello_suppressed").value(r.hello_suppressed);
+    w.key("pseudonym_rotations").value(r.pseudonym_rotations);
     w.key("cert_fetches").value(r.cert_fetches);
     w.key("control_bytes").value(r.control_bytes);
     w.key("data_bytes").value(r.data_bytes);
@@ -72,6 +74,24 @@ void result_to_json(JsonWriter& w, const workload::ScenarioResult& r, bool inclu
     w.key("index_linkages").value(r.adversary.index_linkages);
     w.key("relationship_pairs_learned").value(r.adversary.relationship_pairs_learned);
     w.key("mean_tracking_coverage").value(r.adversary.mean_tracking_coverage);
+    w.end_object();
+
+    w.key("attack").begin_object();
+    w.key("hello_observations").value(r.attack.hello_observations);
+    w.key("tracklets").value(r.attack.tracklets);
+    w.key("chains").value(r.attack.chains);
+    w.key("candidate_pairs").value(r.attack.candidate_pairs);
+    w.key("links_made").value(r.attack.links_made);
+    w.key("links_correct").value(r.attack.links_correct);
+    w.key("link_precision").value(r.attack.link_precision);
+    w.key("link_recall").value(r.attack.link_recall);
+    w.key("tracking_success_rate").value(r.attack.tracking_success_rate);
+    w.key("mean_anonymity_set").value(r.attack.mean_anonymity_set);
+    w.key("max_anonymity_set").value(r.attack.max_anonymity_set);
+    w.key("mean_path_error_m").value(r.attack.mean_path_error_m);
+    w.key("anonymity_over_time").begin_array();
+    for (const double v : r.attack.anonymity_over_time) w.value(v);
+    w.end_array();
     w.end_object();
 
     w.key("invariants").begin_object();

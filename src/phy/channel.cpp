@@ -256,6 +256,7 @@ void Channel::start_tx(Radio* sender, const Frame& frame) {
                   .uid = frame_uid(frame), .bytes = frame.wire_bytes,
                   .detail = static_cast<std::uint64_t>(frame.type));
     for (const auto& tap : taps_) tap(frame, sender_pos);
+    for (const auto& tap : audit_taps_) tap(frame, sender_pos, sender->trace_node_);
     const SimTime airtime = params_.airtime(frame.wire_bytes);
 
     sender->begin_own_tx();

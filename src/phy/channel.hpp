@@ -213,10 +213,22 @@ class Channel {
     using SnoopFn = std::function<void(const Frame&, const Vec2& tx_pos)>;
     void set_snoop(SnoopFn snoop);
     void add_snoop(SnoopFn snoop) { taps_.push_back(std::move(snoop)); }
-    /// Drop every tap — primary and additional — in one call (test teardown,
-    /// scenario reset).
+
+    /// Audited variant of the snoop tap: additionally reveals the
+    /// transmitting node's true id (Radio::trace_node()). This is
+    /// ground-truth attribution for *scoring* adversary output — the frame
+    /// itself carries no identity in anonymous mode, and attack passes must
+    /// never consume the third argument (GL010 guards the consumers). Audit
+    /// taps are dispatched after every regular tap, in registration order.
+    using AuditSnoopFn =
+        std::function<void(const Frame&, const Vec2& tx_pos, net::NodeId true_sender)>;
+    void add_audit_snoop(AuditSnoopFn snoop) { audit_taps_.push_back(std::move(snoop)); }
+
+    /// Drop every tap — primary, additional and audit — in one call (test
+    /// teardown, scenario reset).
     void clear_snoops() {
         taps_.clear();
+        audit_taps_.clear();
         has_primary_tap_ = false;
     }
 
@@ -284,6 +296,7 @@ class Channel {
     Stats stats_;
     std::uint64_t next_tx_id_{1};
     std::vector<SnoopFn> taps_;
+    std::vector<AuditSnoopFn> audit_taps_;
     bool has_primary_tap_{false};  ///< taps_[0] is the set_snoop slot
     DropFn drop_;
     std::vector<TxSlot> tx_slots_;

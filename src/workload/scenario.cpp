@@ -80,12 +80,18 @@ void ScenarioRunner::setup() {
         checker_->attach();
     }
 
+    if (config_.attach_eavesdropper || config_.attach_observer) {
+        // One audit tap feeds every adversary component. MAC address =
+        // id + 1 (see net/node.cpp) — scoring-only knowledge.
+        adversary::ObservationFeed::Params fp;
+        fp.record = config_.attach_observer;
+        feed_ = std::make_unique<adversary::ObservationFeed>(
+            network_->channel(),
+            [](net::MacAddr mac) { return static_cast<net::NodeId>(mac - 1); }, fp);
+    }
     if (config_.attach_eavesdropper) {
-        // MAC address = id + 1 (see net/node.cpp) — scoring-only knowledge.
-        eavesdropper_ = std::make_unique<core::Eavesdropper>(
-            network_->channel(), network_->size(), [](net::MacAddr mac) {
-                return static_cast<net::NodeId>(mac - 1);
-            });
+        eavesdropper_ =
+            std::make_unique<adversary::Eavesdropper>(*feed_, network_->size());
         // §3.3: an attacker holding everyone's certificates can precompute
         // every E_{K_B}(A,B) index and match observed ALS queries.
         if (config_.location_service &&
@@ -316,6 +322,8 @@ ScenarioResult ScenarioRunner::aggregate() {
     r.acks_sent = reg.counter("agfw.acks_sent");
     r.implicit_acks = reg.counter("agfw.implicit_acks");
     r.hello_sent = reg.counter("agfw.hello_sent") + reg.counter("gpsr.hello_sent");
+    r.hello_suppressed = reg.counter("agfw.hello_suppressed");
+    r.pseudonym_rotations = reg.counter("agfw.pseudonym_rotations");
     r.cert_fetches = reg.counter("agfw.cert_fetches");
     r.control_bytes = reg.counter("agfw.control_bytes") + reg.counter("gpsr.control_bytes");
     r.data_bytes = reg.counter("agfw.data_bytes") + reg.counter("gpsr.data_bytes");
@@ -368,6 +376,24 @@ ScenarioResult ScenarioRunner::aggregate() {
     }
 
     if (eavesdropper_) r.adversary = eavesdropper_->report(config_.sim_seconds);
+    if (feed_ && config_.attach_observer) {
+        adversary::AttackParams ap = config_.attack;
+        // The attacker knows the mobility envelope unless pinned explicitly.
+        if (ap.linker.max_speed_mps <= 0.0) ap.linker.max_speed_mps = config_.max_speed_mps;
+        r.attack = adversary::run_attack(*feed_, ap, config_.sim_seconds);
+        reg.add("adv.frames_observed", feed_->frames_seen());
+        reg.add("adv.observations_dropped", feed_->observations_dropped());
+        reg.add("adv.hello_observations", r.attack.hello_observations);
+        reg.add("adv.tracklets", r.attack.tracklets);
+        reg.add("adv.chains", r.attack.chains);
+        reg.add("adv.links_made", r.attack.links_made);
+        reg.add("adv.links_correct", r.attack.links_correct);
+        reg.set_gauge("adv.link_precision", r.attack.link_precision);
+        reg.set_gauge("adv.link_recall", r.attack.link_recall);
+        reg.set_gauge("adv.tracking_success_rate", r.attack.tracking_success_rate);
+        reg.set_gauge("adv.mean_anonymity_set", r.attack.mean_anonymity_set);
+        reg.set_gauge("adv.mean_path_error_m", r.attack.mean_path_error_m);
+    }
     if (checker_) r.invariants = checker_->counters();
     r.events_processed = network_->sim().events_processed();
     r.perf.peak_queue_depth = network_->sim().peak_pending();

@@ -5,8 +5,10 @@
 #include <string>
 #include <vector>
 
+#include "adversary/eavesdropper.hpp"
+#include "adversary/observation.hpp"
+#include "adversary/trajectory.hpp"
 #include "analysis/invariant_checker.hpp"
-#include "core/adversary.hpp"
 #include "core/agfw.hpp"
 #include "crypto/engine.hpp"
 #include "fault/fault.hpp"
@@ -77,6 +79,16 @@ struct ScenarioConfig {
     obs::TraceParams trace{};
 
     bool attach_eavesdropper{false};
+    /// Record a compact per-transmission observation log and run the offline
+    /// pseudonym-linking / trajectory attack at aggregation time (results in
+    /// ScenarioResult::attack). Implies the same single snoop tap the
+    /// eavesdropper rides; the pseudonym-change countermeasure under test is
+    /// configured via agfw.pseudonym_policy.
+    bool attach_observer{false};
+    /// Offline attack knobs (attacker strength, scoring window). A zero
+    /// linker.max_speed_mps is filled in from max_speed_mps — the attacker
+    /// is assumed to know the mobility envelope.
+    adversary::AttackParams attack{};
     /// Run the protocol invariant checker alongside the scenario (passive;
     /// cannot change the outcome). Results land in ScenarioResult::invariants.
     bool check_invariants{true};
@@ -115,6 +127,8 @@ struct ScenarioResult {
     std::uint64_t acks_sent{0};
     std::uint64_t implicit_acks{0};
     std::uint64_t hello_sent{0};
+    std::uint64_t hello_suppressed{0};
+    std::uint64_t pseudonym_rotations{0};
     std::uint64_t cert_fetches{0};
     std::uint64_t control_bytes{0};
     std::uint64_t data_bytes{0};
@@ -131,7 +145,9 @@ struct ScenarioResult {
     obs::MetricsSnapshot metrics{};
 
     // Adversary (when attached)
-    core::Eavesdropper::Report adversary{};
+    adversary::Eavesdropper::Report adversary{};
+    /// Offline linking/trajectory attack (when attach_observer is on).
+    adversary::AttackReport attack{};
 
     // Protocol invariant counters (when check_invariants is on)
     analysis::InvariantChecker::Counters invariants{};
@@ -202,6 +218,9 @@ class ScenarioRunner {
     fault::FaultInjector* fault_injector() { return injector_.get(); }
     /// The flight recorder (nullptr unless config.trace.enabled).
     obs::TraceRecorder* trace_recorder() { return recorder_.get(); }
+    /// The shared adversary observation feed (nullptr unless
+    /// attach_eavesdropper or attach_observer is set).
+    adversary::ObservationFeed* observation_feed() { return feed_.get(); }
     /// Export the recorded trace as deterministic Chrome trace-event JSON.
     /// Empty string when tracing was off.
     std::string chrome_trace_json() const;
@@ -231,7 +250,10 @@ class ScenarioRunner {
     /// recorder, so it must outlive the network during teardown.
     std::unique_ptr<obs::TraceRecorder> recorder_;
     std::unique_ptr<net::Network> network_;
-    std::unique_ptr<core::Eavesdropper> eavesdropper_;
+    /// Single snoop-registration path for all adversary components; created
+    /// when either attach_eavesdropper or attach_observer is set.
+    std::unique_ptr<adversary::ObservationFeed> feed_;
+    std::unique_ptr<adversary::Eavesdropper> eavesdropper_;
     std::unique_ptr<analysis::InvariantChecker> checker_;
     std::unique_ptr<fault::FaultInjector> injector_;
     std::vector<Flow> flows_;

@@ -768,6 +768,9 @@ TEST(LintCli, CanaryFixturesStillFire) {
     EXPECT_EQ(run_lint("--root=" + repo +
                        " tools/lint/testdata/gl010_canary.cpp.in"),
               1);
+    EXPECT_EQ(run_lint("--root=" + repo +
+                       " tools/lint/testdata/gl010_adversary_canary.cpp.in"),
+              1);
     EXPECT_EQ(run_lint("--root=" + repo + "/tools/lint/testdata/layers"
                        " --rules=layer-dag src"),
               1);

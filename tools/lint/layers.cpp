@@ -40,7 +40,7 @@ constexpr LayerInfo kLayers[] = {
     {"net", 6},
     {"routing", 7},
     {"core", 8},
-    {"fault", 9},    {"analysis", 9},
+    {"fault", 9},    {"analysis", 9},  {"adversary", 9},
     {"workload", 10},
     {"experiment", 11},
 };
